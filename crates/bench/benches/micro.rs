@@ -1,0 +1,183 @@
+//! Criterion micro-benchmarks of the building blocks and of the per-iteration
+//! cost of each sampler, including the design-choice ablations called out in
+//! DESIGN.md §6 (hash vs dense count vectors, CSC+pointer layout vs dual
+//! CSR/CSC layout, partitioning strategies, alias-table vs F+tree draws).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use warplda::prelude::*;
+use warplda::lda::counts::{DenseCounts, HashCounts, TopicCounts};
+use warplda::sampling::{new_rng, AliasTable, FTree};
+use warplda::sparse::{partition_by_size, DualLayoutMatrix, TokenMatrix};
+
+fn bench_alias_and_ftree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling_structures");
+    for &k in &[1_000usize, 10_000] {
+        let weights: Vec<f64> = (0..k).map(|i| ((i % 97) + 1) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("alias_build", k), &weights, |b, w| {
+            b.iter(|| AliasTable::new(black_box(w)))
+        });
+        let table = AliasTable::new(&weights);
+        group.bench_with_input(BenchmarkId::new("alias_draw", k), &table, |b, t| {
+            let mut rng = new_rng(1);
+            b.iter(|| black_box(t.sample(&mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("ftree_build", k), &weights, |b, w| {
+            b.iter(|| FTree::new(black_box(w)))
+        });
+        let tree = FTree::new(&weights);
+        group.bench_with_input(BenchmarkId::new("ftree_draw", k), &tree, |b, t| {
+            let mut rng = new_rng(2);
+            b.iter(|| black_box(t.sample(&mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("ftree_update", k), &k, |b, &k| {
+            let mut tree = FTree::new(&weights);
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % k;
+                tree.set(i, (i % 13) as f64);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_count_vectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_vectors");
+    let k = 100_000usize;
+    let doc: Vec<u32> = (0..300u32).map(|i| (i * 2_654_435_761) % k as u32).collect();
+    group.bench_function("hash_counts_build_and_clear", |b| {
+        let mut counts = HashCounts::with_expected(doc.len(), k);
+        b.iter(|| {
+            for &t in &doc {
+                counts.increment(black_box(t));
+            }
+            counts.clear();
+        })
+    });
+    group.bench_function("dense_counts_build_and_clear", |b| {
+        let mut counts = DenseCounts::new(k);
+        b.iter(|| {
+            for &t in &doc {
+                counts.increment(black_box(t));
+            }
+            counts.clear();
+        })
+    });
+    group.finish();
+}
+
+fn bench_visit_layouts(c: &mut Criterion) {
+    // DESIGN.md §6: CSC + row pointers (no transpose) vs dual CSR/CSC with an
+    // explicit transpose on every direction switch.
+    let corpus = DatasetPreset::Tiny.generate();
+    let doc_view = DocMajorView::build(&corpus);
+    let entries: Vec<(u32, u32)> = (0..corpus.num_docs() as u32)
+        .flat_map(|d| doc_view.doc_words(d).iter().map(move |&w| (d, w)).collect::<Vec<_>>())
+        .collect();
+    let rows = corpus.num_docs();
+    let cols = corpus.vocab_size();
+
+    let mut group = c.benchmark_group("visit_layouts");
+    group.bench_function("csc_plus_pointers_row_then_col", |b| {
+        let mut m: TokenMatrix<u32> = TokenMatrix::from_entries(rows, cols, &entries);
+        b.iter(|| {
+            m.visit_by_row(|_, mut r| {
+                for i in 0..r.len() {
+                    *r.get_mut(i) += 1;
+                }
+            });
+            m.visit_by_column(|_, mut col| {
+                for i in 0..col.len() {
+                    *col.get_mut(i) += 1;
+                }
+            });
+        })
+    });
+    group.bench_function("dual_csr_csc_row_then_col", |b| {
+        let mut m: DualLayoutMatrix<u32> = DualLayoutMatrix::from_entries(rows, cols, &entries);
+        b.iter(|| {
+            m.visit_by_row(|_, _, data| {
+                for v in data {
+                    *v += 1;
+                }
+            });
+            m.visit_by_column(|_, _, data| {
+                for v in data {
+                    *v += 1;
+                }
+            });
+        })
+    });
+    group.finish();
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let sizes: Vec<u64> = (0..100_000u64).map(|i| 1_000_000 / (i + 1)).collect();
+    let mut group = c.benchmark_group("partitioning");
+    for (name, strategy) in [
+        ("static", PartitionStrategy::Static { seed: 1 }),
+        ("dynamic", PartitionStrategy::Dynamic),
+        ("greedy", PartitionStrategy::Greedy),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| partition_by_size(black_box(&sizes), 64, strategy))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampler_iterations(c: &mut Criterion) {
+    let corpus = DatasetPreset::Tiny.generate();
+    let params = ModelParams::paper_defaults(50);
+    let mut group = c.benchmark_group("sampler_iteration");
+    group.sample_size(10);
+
+    group.bench_function("warplda_m2", |b| {
+        let mut s = WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(2), 1);
+        b.iter(|| s.run_iteration())
+    });
+    group.bench_function("warplda_m2_dense_counts", |b| {
+        let cfg = WarpLdaConfig { mh_steps: 2, use_hash_counts: false };
+        let mut s = WarpLda::new(&corpus, params, cfg, 1);
+        b.iter(|| s.run_iteration())
+    });
+    group.bench_function("lightlda_m2", |b| {
+        let mut s = LightLda::new(&corpus, params, 2, 1);
+        b.iter(|| s.run_iteration())
+    });
+    group.bench_function("fpluslda", |b| {
+        let mut s = FPlusLda::new(&corpus, params, 1);
+        b.iter(|| s.run_iteration())
+    });
+    group.bench_function("sparselda", |b| {
+        let mut s = SparseLda::new(&corpus, params, 1);
+        b.iter(|| s.run_iteration())
+    });
+    group.bench_function("cgs", |b| {
+        let mut s = CollapsedGibbs::new(&corpus, params, 1);
+        b.iter(|| s.run_iteration())
+    });
+    group.finish();
+}
+
+/// Short measurement windows so the whole suite (19 benchmarks) finishes in a
+/// couple of minutes on one core; raise these when chasing small regressions.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_alias_and_ftree,
+        bench_count_vectors,
+        bench_visit_layouts,
+        bench_partitioners,
+        bench_sampler_iterations
+}
+criterion_main!(benches);

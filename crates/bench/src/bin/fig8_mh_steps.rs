@@ -1,0 +1,51 @@
+//! Figure 8: impact of the number of MH proposals M on WarpLDA convergence,
+//! log likelihood vs wall-clock time for M ∈ {1, 2, 4, 8, 16}.
+//!
+//! Expected shape: larger M converges in fewer iterations; in wall-clock terms
+//! the small values (1–4) are the sweet spot because each iteration is
+//! proportionally cheaper.
+
+use warplda::prelude::*;
+use warplda_bench::{full_scale, run_trace, traces_to_csv_rows, write_csv};
+
+fn main() {
+    let full = full_scale();
+    let corpus = if full {
+        DatasetPreset::NyTimesLike.generate()
+    } else {
+        DatasetPreset::NyTimesLike.generate_scaled(6)
+    };
+    let k = if full { 1000 } else { 100 };
+    let iterations = if full { 200 } else { 60 };
+    let params = ModelParams::paper_defaults(k);
+    println!("corpus: {}", corpus.stats().table_row("NYTimes-like"));
+    println!("K = {k}\n");
+
+    let mut traces = Vec::new();
+    for m in [1usize, 2, 4, 8, 16] {
+        let mut s = WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(m), 9);
+        traces.push(run_trace(&format!("M={m}"), &mut s, &corpus, iterations, 5));
+    }
+
+    println!("{:<8} {:>16} {:>16} {:>14}", "config", "final LL", "seconds total", "Mtoken/s");
+    for t in &traces {
+        println!(
+            "{:<8} {:>16.1} {:>16.2} {:>14.2}",
+            t.name,
+            t.final_ll(),
+            t.points.last().map_or(0.0, |p| p.seconds),
+            t.tokens_per_sec / 1e6
+        );
+    }
+
+    println!("\nlog likelihood by time:");
+    for t in &traces {
+        let line: Vec<String> =
+            t.points.iter().map(|p| format!("({:.2}s, {:.0})", p.seconds, p.log_likelihood)).collect();
+        println!("{:<8} {}", t.name, line.join(" "));
+    }
+
+    write_csv("fig8_mh_steps.csv", "sampler,iteration,seconds,log_likelihood", &traces_to_csv_rows(&traces));
+    println!("\nExpected shape (Figure 8): per iteration, larger M converges faster; per unit of");
+    println!("time, small M (1, 2 or 4) is sufficient — matching the paper's recommendation.");
+}

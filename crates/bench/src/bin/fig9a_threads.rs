@@ -1,0 +1,97 @@
+//! Figure 9(a): multi-threading speedup of WarpLDA on a single machine —
+//! measured throughput per thread count plus the balance-limited speedup the
+//! partitioner allows.
+//!
+//! Expected shape: near-linear scaling while threads ≤ physical cores (the
+//! paper reports 17x on 24 cores). On a host with few cores the *measured*
+//! column saturates at the core count; the balance-limited column shows what
+//! the partitioning itself would allow on a wider machine.
+
+use std::time::Instant;
+
+use warplda::prelude::*;
+use warplda::sparse::{imbalance_index, partition_by_size};
+use warplda_bench::{full_scale, write_csv};
+
+fn main() {
+    let full = full_scale();
+    let corpus = if full {
+        DatasetPreset::NyTimesLike.generate()
+    } else {
+        DatasetPreset::NyTimesLike.generate_scaled(3)
+    };
+    let k = if full { 1000 } else { 200 };
+    let iterations = if full { 20 } else { 8 };
+    let params = ModelParams::paper_defaults(k);
+    let config = WarpLdaConfig::with_mh_steps(2);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("corpus: {}", corpus.stats().table_row("NYTimes-like"));
+    println!("K = {k}, M = {}, host has {cores} core(s)\n", config.mh_steps);
+
+    let doc_view = DocMajorView::build(&corpus);
+    let word_view = WordMajorView::build(&corpus, &doc_view);
+    let doc_sizes: Vec<u64> =
+        (0..corpus.num_docs()).map(|d| doc_view.doc_len(d as u32) as u64).collect();
+    let word_sizes: Vec<u64> =
+        (0..corpus.vocab_size()).map(|w| word_view.word_len(w as u32) as u64).collect();
+
+    let thread_counts: Vec<usize> = [1usize, 2, 4, 6, 12, 24]
+        .into_iter()
+        .filter(|&t| t == 1 || t <= 2 * cores.max(12))
+        .collect();
+
+    println!(
+        "{:>8} {:>16} {:>18} {:>24}",
+        "threads", "measured Mtok/s", "measured speedup", "balance-limited speedup"
+    );
+    let mut rows = Vec::new();
+    let mut baseline = None;
+    for &threads in &thread_counts {
+        let mut sampler = ParallelWarpLda::new(&corpus, params, config, 3, threads);
+        sampler.run_iteration(); // warm-up
+        let t0 = Instant::now();
+        for _ in 0..iterations {
+            sampler.run_iteration();
+        }
+        let seconds = t0.elapsed().as_secs_f64();
+        let tps = corpus.num_tokens() as f64 * iterations as f64 / seconds;
+        let base = *baseline.get_or_insert(tps);
+
+        // Balance-limited speedup: how much the greedy/dynamic row and column
+        // partitions allow, independent of this host's core count.
+        let doc_loads = {
+            let a = partition_by_size(&doc_sizes, threads, PartitionStrategy::Greedy);
+            let mut loads = vec![0u64; threads];
+            for (i, &p) in a.iter().enumerate() {
+                loads[p as usize] += doc_sizes[i];
+            }
+            loads
+        };
+        let word_loads = {
+            let a = partition_by_size(&word_sizes, threads, PartitionStrategy::Dynamic);
+            let mut loads = vec![0u64; threads];
+            for (i, &p) in a.iter().enumerate() {
+                loads[p as usize] += word_sizes[i];
+            }
+            loads
+        };
+        let balance_speedup = threads as f64
+            / (1.0 + imbalance_index(&doc_loads).max(imbalance_index(&word_loads)));
+
+        println!(
+            "{:>8} {:>16.2} {:>18.2} {:>24.2}",
+            threads,
+            tps / 1e6,
+            tps / base,
+            balance_speedup
+        );
+        rows.push(format!("{threads},{tps:.1},{:.3},{balance_speedup:.3}", tps / base));
+    }
+    write_csv("fig9a_threads.csv", "threads,tokens_per_sec,measured_speedup,balance_limited_speedup", &rows);
+    println!("\nExpected shape (Figure 9a): close-to-linear speedup up to the physical core count.");
+    if cores == 1 {
+        println!("NOTE: this host exposes a single core, so measured speedup cannot exceed 1; the");
+        println!("balance-limited column shows that the work decomposition itself scales (the paper");
+        println!("measures 17x on 24 physical cores).");
+    }
+}

@@ -1,0 +1,26 @@
+//! Table 1: configuration of the memory hierarchy used by the analysis and by
+//! the cache simulator (latencies and sizes of L1D/L2/L3/main memory).
+
+use warplda::cachesim::HierarchyConfig;
+
+fn main() {
+    let cfg = HierarchyConfig::ivy_bridge();
+    println!("Table 1: memory hierarchy used by the cache simulator (Intel Ivy Bridge)");
+    println!("{:<14} {:>16} {:>16}", "level", "latency (cycles)", "size");
+    let fmt_size = |bytes: u64| {
+        if bytes >= 1024 * 1024 {
+            format!("{} MB", bytes / (1024 * 1024))
+        } else {
+            format!("{} KB", bytes / 1024)
+        }
+    };
+    println!("{:<14} {:>16} {:>16}", "L1D (per core)", cfg.l1.latency_cycles, fmt_size(cfg.l1.size_bytes));
+    println!("{:<14} {:>16} {:>16}", "L2 (per core)", cfg.l2.latency_cycles, fmt_size(cfg.l2.size_bytes));
+    println!("{:<14} {:>16} {:>16}", "L3 (shared)", cfg.l3.latency_cycles, fmt_size(cfg.l3.size_bytes));
+    println!("{:<14} {:>16} {:>16}", "Main memory", format!("{}+", cfg.memory_latency_cycles), "10GB+");
+    println!(
+        "\nThe L3 is ~{}x faster than main memory — the gap WarpLDA exploits by keeping",
+        cfg.memory_latency_cycles / cfg.l3.latency_cycles
+    );
+    println!("its per-document/word random accesses inside an O(K) vector.");
+}

@@ -1,0 +1,224 @@
+//! Shared plumbing for the experiment harness binaries.
+//!
+//! Every table and figure of the paper's evaluation section has a
+//! corresponding binary in `src/bin/` (see DESIGN.md §5 for the index). The
+//! binaries print the paper-style rows/series to stdout and, where a series is
+//! produced, also write a CSV under `target/experiments/` so the curves can be
+//! plotted.
+//!
+//! All binaries accept `--full` to run at a larger scale (more documents, more
+//! topics, more iterations); the default is a quick configuration that
+//! finishes in seconds to a couple of minutes so `EXPERIMENTS.md` can be
+//! regenerated end-to-end on a laptop.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use warplda::prelude::*;
+
+/// Returns true when `--full` was passed on the command line.
+pub fn full_scale() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Directory where the harness writes CSV series; created on demand.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Writes a CSV file (header + rows) under `target/experiments/` and prints
+/// its path.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = experiments_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create CSV file");
+    writeln!(f, "{header}").unwrap();
+    for row in rows {
+        writeln!(f, "{row}").unwrap();
+    }
+    println!("[csv] wrote {}", path.display());
+}
+
+/// One sampled point of a convergence trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TracePoint {
+    /// Iteration number (1-based).
+    pub iteration: usize,
+    /// Wall-clock seconds spent in `run_iteration` so far (excludes evaluation).
+    pub seconds: f64,
+    /// Log joint likelihood after this iteration.
+    pub log_likelihood: f64,
+}
+
+/// A named convergence trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Display name of the sampler.
+    pub name: String,
+    /// The sampled points.
+    pub points: Vec<TracePoint>,
+    /// Mean sampling throughput over the run, tokens/second.
+    pub tokens_per_sec: f64,
+}
+
+impl Trace {
+    /// The final log likelihood of the trace.
+    pub fn final_ll(&self) -> f64 {
+        self.points.last().map_or(f64::NEG_INFINITY, |p| p.log_likelihood)
+    }
+
+    /// First iteration whose likelihood reaches `target`, if any.
+    pub fn iterations_to_reach(&self, target: f64) -> Option<usize> {
+        self.points.iter().find(|p| p.log_likelihood >= target).map(|p| p.iteration)
+    }
+
+    /// Wall-clock seconds needed to reach `target`, if ever reached.
+    pub fn seconds_to_reach(&self, target: f64) -> Option<f64> {
+        self.points.iter().find(|p| p.log_likelihood >= target).map(|p| p.seconds)
+    }
+}
+
+/// Runs `iterations` iterations of a sampler, evaluating the likelihood every
+/// `eval_every` iterations, and returns the trace.
+pub fn run_trace(
+    name: &str,
+    sampler: &mut dyn Sampler,
+    corpus: &Corpus,
+    iterations: usize,
+    eval_every: usize,
+) -> Trace {
+    let doc_view = DocMajorView::build(corpus);
+    let word_view = WordMajorView::build(corpus, &doc_view);
+    let mut points = Vec::new();
+    let mut sampling_seconds = 0.0;
+    for it in 1..=iterations {
+        let t0 = Instant::now();
+        sampler.run_iteration();
+        sampling_seconds += t0.elapsed().as_secs_f64();
+        if it % eval_every.max(1) == 0 || it == iterations {
+            let ll = sampler.log_likelihood(corpus, &doc_view, &word_view);
+            points.push(TracePoint { iteration: it, seconds: sampling_seconds, log_likelihood: ll });
+        }
+    }
+    let tokens = corpus.num_tokens() as f64 * iterations as f64;
+    Trace {
+        name: name.to_owned(),
+        points,
+        tokens_per_sec: tokens / sampling_seconds.max(1e-12),
+    }
+}
+
+/// Prints a set of traces as aligned "LL vs iteration" and "LL vs time"
+/// tables, plus the speed-up ratios against the first (reference) trace — the
+/// four panels of each Figure 5 row.
+pub fn print_convergence_report(traces: &[Trace], reference_targets: &[f64]) {
+    println!("\n== log likelihood by iteration ==");
+    print!("{:>6}", "iter");
+    for t in traces {
+        print!(" {:>22}", t.name);
+    }
+    println!();
+    let reference = &traces[0];
+    for (i, p) in reference.points.iter().enumerate() {
+        print!("{:>6}", p.iteration);
+        for t in traces {
+            if let Some(q) = t.points.get(i) {
+                print!(" {:>22.1}", q.log_likelihood);
+            } else {
+                print!(" {:>22}", "-");
+            }
+        }
+        println!();
+    }
+
+    println!("\n== log likelihood by time (seconds) ==");
+    for t in traces {
+        let line: Vec<String> =
+            t.points.iter().map(|p| format!("({:.2}s, {:.1})", p.seconds, p.log_likelihood)).collect();
+        println!("{:<22} {}", t.name, line.join(" "));
+    }
+
+    println!("\n== throughput ==");
+    for t in traces {
+        println!("{:<22} {:>10.2} Mtoken/s", t.name, t.tokens_per_sec / 1e6);
+    }
+
+    if !reference_targets.is_empty() {
+        println!("\n== speed-up of {} over the others to reach a target LL ==", traces[0].name);
+        print!("{:>16}", "target LL");
+        for t in traces.iter().skip(1) {
+            print!(" {:>18} (iter)", t.name);
+            print!(" {:>18} (time)", t.name);
+        }
+        println!();
+        for &target in reference_targets {
+            print!("{:>16.1}", target);
+            let ref_iter = traces[0].iterations_to_reach(target);
+            let ref_time = traces[0].seconds_to_reach(target);
+            for t in traces.iter().skip(1) {
+                let iter_ratio = match (ref_iter, t.iterations_to_reach(target)) {
+                    (Some(a), Some(b)) => format!("{:.2}x", b as f64 / a as f64),
+                    _ => "-".to_string(),
+                };
+                let time_ratio = match (ref_time, t.seconds_to_reach(target)) {
+                    (Some(a), Some(b)) => format!("{:.2}x", b / a),
+                    _ => "-".to_string(),
+                };
+                print!(" {:>25} {:>25}", iter_ratio, time_ratio);
+            }
+            println!();
+        }
+    }
+}
+
+/// Converts traces to CSV rows: `sampler,iteration,seconds,log_likelihood`.
+pub fn traces_to_csv_rows(traces: &[Trace]) -> Vec<String> {
+    let mut rows = Vec::new();
+    for t in traces {
+        for p in &t.points {
+            rows.push(format!("{},{},{:.4},{:.3}", t.name, p.iteration, p.seconds, p.log_likelihood));
+        }
+    }
+    rows
+}
+
+/// Likelihood targets for the speed-up panels: fractions of the way from the
+/// first evaluated likelihood to the *lowest* final likelihood across traces,
+/// so that every sampler reaches every target (the paper picks its targets the
+/// same way — likelihood levels all runs attain).
+pub fn default_targets(traces: &[Trace]) -> Vec<f64> {
+    let start = traces
+        .iter()
+        .filter_map(|t| t.points.first().map(|p| p.log_likelihood))
+        .fold(f64::INFINITY, f64::min);
+    let attained = traces.iter().map(Trace::final_ll).fold(f64::INFINITY, f64::min);
+    [0.5, 0.8, 0.95].iter().map(|f| start + (attained - start) * f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_helpers_work() {
+        let corpus = DatasetPreset::Tiny.generate_scaled(10);
+        let params = ModelParams::paper_defaults(6);
+        let mut s = WarpLda::new(&corpus, params, WarpLdaConfig::default(), 1);
+        let trace = run_trace("WarpLDA", &mut s, &corpus, 6, 2);
+        assert_eq!(trace.points.len(), 3);
+        assert!(trace.tokens_per_sec > 0.0);
+        assert!(trace.final_ll().is_finite());
+        let targets = default_targets(std::slice::from_ref(&trace));
+        assert_eq!(targets.len(), 3);
+        assert!(trace.iterations_to_reach(f64::NEG_INFINITY).is_some());
+        assert!(trace.iterations_to_reach(0.0).is_none());
+        let rows = traces_to_csv_rows(std::slice::from_ref(&trace));
+        assert_eq!(rows.len(), 3);
+    }
+}

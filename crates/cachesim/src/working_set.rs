@@ -1,0 +1,257 @@
+//! Working-set measurement: the "size of randomly accessed memory
+//! per-document" column of Table 2.
+//!
+//! The probe tracks, inside each *scope* (one document in a document phase,
+//! one word in a word phase), the set of distinct cache lines touched in each
+//! region, and classifies every access as sequential (next address within the
+//! same line or the immediately following one, relative to the previous access
+//! to the same region) or random.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::probe::{MemoryProbe, RegionId, RegionTable};
+
+/// What kind of scope the per-scope statistics correspond to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScopeKind {
+    /// Scopes are documents (document-by-document visiting order).
+    Document,
+    /// Scopes are words (word-by-word visiting order).
+    Word,
+}
+
+/// Aggregated report of a [`WorkingSetProbe`] run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkingSetReport {
+    /// What the scopes were.
+    pub scope_kind: ScopeKind,
+    /// Number of scopes observed.
+    pub scopes: u64,
+    /// Mean number of distinct bytes randomly accessed per scope.
+    pub mean_random_bytes_per_scope: f64,
+    /// Largest per-scope randomly-accessed working set, in bytes.
+    pub max_random_bytes_per_scope: u64,
+    /// Total sequential accesses.
+    pub sequential_accesses: u64,
+    /// Total random accesses.
+    pub random_accesses: u64,
+}
+
+impl WorkingSetReport {
+    /// Ratio of random to total accesses.
+    pub fn random_fraction(&self) -> f64 {
+        let total = self.sequential_accesses + self.random_accesses;
+        if total == 0 {
+            0.0
+        } else {
+            self.random_accesses as f64 / total as f64
+        }
+    }
+}
+
+/// A [`MemoryProbe`] that measures per-scope working sets.
+#[derive(Debug, Clone)]
+pub struct WorkingSetProbe {
+    table: RegionTable,
+    scope_kind: ScopeKind,
+    line_size: u64,
+    /// Regions whose accesses count as "random" (matrix/vector regions); other
+    /// regions (e.g. the token stream itself, which is scanned sequentially)
+    /// can be registered as sequential and excluded from the working set.
+    random_regions: HashSet<u32>,
+    /// Last accessed address per region (for sequential classification).
+    last_addr: Vec<Option<u64>>,
+    /// Lines touched randomly in the current scope.
+    current_lines: HashSet<u64>,
+    // Aggregates.
+    scopes: u64,
+    sum_random_bytes: u64,
+    max_random_bytes: u64,
+    sequential_accesses: u64,
+    random_accesses: u64,
+}
+
+impl WorkingSetProbe {
+    /// Creates a probe with a 64-byte line size.
+    pub fn new(scope_kind: ScopeKind) -> Self {
+        Self {
+            table: RegionTable::default(),
+            scope_kind,
+            line_size: 64,
+            random_regions: HashSet::new(),
+            last_addr: Vec::new(),
+            current_lines: HashSet::new(),
+            scopes: 0,
+            sum_random_bytes: 0,
+            max_random_bytes: 0,
+            sequential_accesses: 0,
+            random_accesses: 0,
+        }
+    }
+
+    /// Marks a region as inherently sequential (it will never contribute to
+    /// the random working set, e.g. the token array scanned front to back).
+    pub fn mark_sequential(&mut self, region: RegionId) {
+        self.random_regions.remove(&region.0);
+    }
+
+    /// Produces the aggregated report.
+    pub fn report(&self) -> WorkingSetReport {
+        WorkingSetReport {
+            scope_kind: self.scope_kind,
+            scopes: self.scopes,
+            mean_random_bytes_per_scope: if self.scopes == 0 {
+                0.0
+            } else {
+                self.sum_random_bytes as f64 / self.scopes as f64
+            },
+            max_random_bytes_per_scope: self.max_random_bytes,
+            sequential_accesses: self.sequential_accesses,
+            random_accesses: self.random_accesses,
+        }
+    }
+
+    fn record(&mut self, region: RegionId, index: usize) {
+        let addr = self.table.address(region, index);
+        let slot = region.0 as usize;
+        let elem = self.table.regions()[slot].elem_size;
+        let sequential = match self.last_addr[slot] {
+            Some(prev) => addr >= prev && addr <= prev + elem.max(self.line_size),
+            None => false,
+        };
+        self.last_addr[slot] = Some(addr);
+        if sequential || !self.random_regions.contains(&region.0) {
+            self.sequential_accesses += 1;
+        } else {
+            self.random_accesses += 1;
+            self.current_lines.insert(addr / self.line_size);
+        }
+    }
+}
+
+impl MemoryProbe for WorkingSetProbe {
+    fn register_region(&mut self, name: &str, elements: usize, elem_size: usize) -> RegionId {
+        let id = self.table.register(name, elements, elem_size);
+        self.last_addr.push(None);
+        // Regions are random by default; callers opt out via `mark_sequential`.
+        self.random_regions.insert(id.0);
+        id
+    }
+
+    #[inline]
+    fn read(&mut self, region: RegionId, index: usize) {
+        self.record(region, index);
+    }
+
+    #[inline]
+    fn write(&mut self, region: RegionId, index: usize) {
+        self.record(region, index);
+    }
+
+    fn begin_scope(&mut self) {
+        self.current_lines.clear();
+        for a in &mut self.last_addr {
+            *a = None;
+        }
+    }
+
+    fn end_scope(&mut self) {
+        let bytes = self.current_lines.len() as u64 * self.line_size;
+        self.scopes += 1;
+        self.sum_random_bytes += bytes;
+        self.max_random_bytes = self.max_random_bytes.max(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_scans_are_not_counted_as_random() {
+        let mut p = WorkingSetProbe::new(ScopeKind::Document);
+        let tokens = p.register_region("tokens", 1000, 4);
+        p.mark_sequential(tokens);
+        p.begin_scope();
+        for i in 0..1000 {
+            p.read(tokens, i);
+        }
+        p.end_scope();
+        let r = p.report();
+        assert_eq!(r.random_accesses, 0);
+        assert_eq!(r.sequential_accesses, 1000);
+        assert_eq!(r.mean_random_bytes_per_scope, 0.0);
+    }
+
+    #[test]
+    fn random_accesses_to_small_vector_have_small_working_set() {
+        let mut p = WorkingSetProbe::new(ScopeKind::Document);
+        let cd = p.register_region("cd", 1000, 4); // a K=1000 count vector
+        p.begin_scope();
+        // Touch 100 random-ish entries (stride large enough to defeat the
+        // sequential classifier).
+        for i in 0..100 {
+            p.read(cd, (i * 37) % 1000);
+        }
+        p.end_scope();
+        let r = p.report();
+        assert!(r.random_accesses > 0);
+        // Working set is bounded by the vector size (1000 * 4 B rounded to lines).
+        assert!(r.max_random_bytes_per_scope <= 1008 * 64 / 16 + 64 * 2);
+        assert!(r.max_random_bytes_per_scope <= 4096 + 128);
+    }
+
+    #[test]
+    fn random_accesses_to_matrix_have_large_working_set() {
+        let mut p = WorkingSetProbe::new(ScopeKind::Document);
+        let cw = p.register_region("cw", 1 << 22, 4); // a 16 MiB matrix
+        p.begin_scope();
+        for i in 0..1000u64 {
+            // Scatter widely: different cache lines almost every time.
+            p.read(cw, ((i * 2_654_435_761) % (1 << 22)) as usize);
+        }
+        p.end_scope();
+        let r = p.report();
+        assert!(
+            r.max_random_bytes_per_scope > 900 * 64,
+            "expected ~1000 distinct lines, got {} bytes",
+            r.max_random_bytes_per_scope
+        );
+    }
+
+    #[test]
+    fn per_scope_statistics_average_over_scopes() {
+        let mut p = WorkingSetProbe::new(ScopeKind::Word);
+        let v = p.register_region("v", 4096, 4);
+        for scope in 0..4 {
+            p.begin_scope();
+            for i in 0..(scope + 1) * 10 {
+                p.read(v, (i * 101) % 4096);
+            }
+            p.end_scope();
+        }
+        let r = p.report();
+        assert_eq!(r.scopes, 4);
+        assert_eq!(r.scope_kind, ScopeKind::Word);
+        assert!(r.mean_random_bytes_per_scope > 0.0);
+        assert!(r.max_random_bytes_per_scope as f64 >= r.mean_random_bytes_per_scope);
+    }
+
+    #[test]
+    fn random_fraction_reflects_mix() {
+        let mut p = WorkingSetProbe::new(ScopeKind::Document);
+        let seq = p.register_region("seq", 100, 4);
+        p.mark_sequential(seq);
+        let rnd = p.register_region("rnd", 100_000, 4);
+        p.begin_scope();
+        for i in 0..50 {
+            p.read(seq, i);
+            p.read(rnd, (i * 9973) % 100_000);
+        }
+        p.end_scope();
+        let r = p.report();
+        assert!((r.random_fraction() - 0.5).abs() < 0.05, "{}", r.random_fraction());
+    }
+}

@@ -1,0 +1,459 @@
+//! Topic-count vectors.
+//!
+//! Section 5.4 of the paper: "It is more effective to use hash tables rather
+//! than dense arrays for the counts `c_d` and `c_w` … an open addressing hash
+//! table with linear probing … the capacity is set to the minimum power of 2
+//! that is larger than `min{K, 2·L_d}`".
+//!
+//! Two implementations share the [`TopicCounts`] interface:
+//!
+//! * [`HashCounts`] — the paper's open-addressing table;
+//! * [`DenseCounts`] — a plain `Vec<u32>` with a touched-topic list so
+//!   clearing stays proportional to the number of distinct topics, used when
+//!   `2·L ≥ K` (and by the ablation benchmark).
+
+use serde::{Deserialize, Serialize};
+
+/// Common interface of the count-vector implementations.
+pub trait TopicCounts {
+    /// Count of `topic`.
+    fn get(&self, topic: u32) -> u32;
+    /// Adds `delta` (may be negative) to the count of `topic`.
+    fn add(&mut self, topic: u32, delta: i32);
+    /// Increments the count of `topic`.
+    fn increment(&mut self, topic: u32) {
+        self.add(topic, 1);
+    }
+    /// Decrements the count of `topic`.
+    fn decrement(&mut self, topic: u32) {
+        self.add(topic, -1);
+    }
+    /// Removes all counts.
+    fn clear(&mut self);
+    /// Calls `f(topic, count)` for every non-zero topic (order unspecified).
+    fn for_each(&self, f: impl FnMut(u32, u32));
+    /// Number of distinct topics with a non-zero count.
+    fn num_nonzero(&self) -> usize;
+    /// Sum of all counts.
+    fn total(&self) -> u64;
+    /// Collects the non-zero `(topic, count)` pairs (order unspecified).
+    fn to_pairs(&self) -> Vec<(u32, u32)> {
+        let mut v = Vec::with_capacity(self.num_nonzero());
+        self.for_each(|t, c| v.push((t, c)));
+        v
+    }
+}
+
+/// Open-addressing hash table with linear probing, keyed by topic id.
+///
+/// The capacity is a power of two; the hash is the multiplicative Fibonacci
+/// hash (the paper uses "a simple and function", i.e. masking — Fibonacci
+/// hashing keeps that cost while behaving better on consecutive topic ids).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HashCounts {
+    /// Slot keys; `u32::MAX` marks an empty slot.
+    keys: Vec<u32>,
+    /// Slot values.
+    values: Vec<u32>,
+    mask: usize,
+    len: usize,
+    total: u64,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+impl HashCounts {
+    /// Creates a table sized for `expected` distinct topics, capped at
+    /// `num_topics` (the paper's `min{K, 2·L}` rule, rounded to a power of two).
+    pub fn with_expected(expected: usize, num_topics: usize) -> Self {
+        let target = expected.saturating_mul(2).min(num_topics.saturating_mul(2)).max(4);
+        let capacity = target.next_power_of_two();
+        Self { keys: vec![EMPTY; capacity], values: vec![0; capacity], mask: capacity - 1, len: 0, total: 0 }
+    }
+
+    /// Current slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    #[inline]
+    fn slot_of(&self, topic: u32) -> usize {
+        // Fibonacci hashing: multiply by 2^32 / φ and mask.
+        ((topic.wrapping_mul(2_654_435_769)) as usize) & self.mask
+    }
+
+    #[inline]
+    fn find_slot(&self, topic: u32) -> usize {
+        let mut slot = self.slot_of(topic);
+        loop {
+            let k = self.keys[slot];
+            if k == topic || k == EMPTY {
+                return slot;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let pairs = self.to_pairs();
+        let new_capacity = self.keys.len() * 2;
+        self.keys = vec![EMPTY; new_capacity];
+        self.values = vec![0; new_capacity];
+        self.mask = new_capacity - 1;
+        self.len = 0;
+        self.total = 0;
+        for (t, c) in pairs {
+            self.add(t, c as i32);
+        }
+    }
+}
+
+impl TopicCounts for HashCounts {
+    #[inline]
+    fn get(&self, topic: u32) -> u32 {
+        let slot = self.find_slot(topic);
+        if self.keys[slot] == topic {
+            self.values[slot]
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, topic: u32, delta: i32) {
+        if delta == 0 {
+            return;
+        }
+        debug_assert_ne!(topic, EMPTY, "topic id u32::MAX is reserved");
+        let slot = self.find_slot(topic);
+        if self.keys[slot] == EMPTY {
+            debug_assert!(delta > 0, "decrementing a zero count for topic {topic}");
+            // Keep the load factor below 1/2 so probes stay short.
+            if (self.len + 1) * 2 > self.keys.len() {
+                self.grow();
+                return self.add(topic, delta);
+            }
+            self.keys[slot] = topic;
+            self.values[slot] = delta as u32;
+            self.len += 1;
+            self.total += delta as u64;
+            return;
+        }
+        let v = &mut self.values[slot];
+        if delta > 0 {
+            *v += delta as u32;
+            self.total += delta as u64;
+        } else {
+            let d = (-delta) as u32;
+            debug_assert!(*v >= d, "count of topic {topic} would go negative");
+            // Zero-count keys stay in place: tombstone-free deletion is not worth
+            // it for per-document lifetimes (the table is cleared after each
+            // document/word anyway) and `num_nonzero` filters them out.
+            let applied = d.min(*v);
+            *v -= applied;
+            self.total -= applied as u64;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.keys.fill(EMPTY);
+        self.values.fill(0);
+        self.len = 0;
+        self.total = 0;
+    }
+
+    fn for_each(&self, mut f: impl FnMut(u32, u32)) {
+        for (i, &k) in self.keys.iter().enumerate() {
+            if k != EMPTY && self.values[i] > 0 {
+                f(k, self.values[i]);
+            }
+        }
+    }
+
+    fn num_nonzero(&self) -> usize {
+        self.keys.iter().zip(&self.values).filter(|&(&k, &v)| k != EMPTY && v > 0).count()
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Dense count vector with a touched list for cheap clearing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DenseCounts {
+    values: Vec<u32>,
+    /// Topics that have been touched since the last clear (each listed once).
+    touched: Vec<u32>,
+    /// Whether a topic is already on the touched list.
+    listed: Vec<bool>,
+    total: u64,
+}
+
+impl DenseCounts {
+    /// Creates a dense vector over `num_topics` topics.
+    pub fn new(num_topics: usize) -> Self {
+        Self { values: vec![0; num_topics], touched: Vec::new(), listed: vec![false; num_topics], total: 0 }
+    }
+
+    /// The underlying dense slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.values
+    }
+}
+
+impl TopicCounts for DenseCounts {
+    #[inline]
+    fn get(&self, topic: u32) -> u32 {
+        self.values[topic as usize]
+    }
+
+    #[inline]
+    fn add(&mut self, topic: u32, delta: i32) {
+        if delta == 0 {
+            return;
+        }
+        let v = &mut self.values[topic as usize];
+        if delta > 0 && !self.listed[topic as usize] {
+            self.listed[topic as usize] = true;
+            self.touched.push(topic);
+        }
+        if delta > 0 {
+            *v += delta as u32;
+            self.total += delta as u64;
+        } else {
+            let d = (-delta) as u32;
+            debug_assert!(*v >= d, "count of topic {topic} would go negative");
+            let applied = d.min(*v);
+            *v -= applied;
+            self.total -= applied as u64;
+        }
+    }
+
+    fn clear(&mut self) {
+        for &t in &self.touched {
+            self.values[t as usize] = 0;
+            self.listed[t as usize] = false;
+        }
+        self.touched.clear();
+        self.total = 0;
+    }
+
+    fn for_each(&self, mut f: impl FnMut(u32, u32)) {
+        for &t in &self.touched {
+            let v = self.values[t as usize];
+            if v > 0 {
+                f(t, v);
+            }
+        }
+    }
+
+    fn num_nonzero(&self) -> usize {
+        self.touched.iter().filter(|&&t| self.values[t as usize] > 0).count()
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// A count vector that picks the hash or dense representation depending on the
+/// expected number of distinct topics (the paper's `min{K, 2L}` heuristic).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum CountVector {
+    /// Hash-table backed (sparse) counts.
+    Hash(HashCounts),
+    /// Dense counts.
+    Dense(DenseCounts),
+}
+
+impl CountVector {
+    /// Chooses a representation: hash when `2·expected < num_topics`, dense
+    /// otherwise.
+    pub fn auto(expected: usize, num_topics: usize) -> Self {
+        if expected.saturating_mul(2) < num_topics {
+            CountVector::Hash(HashCounts::with_expected(expected, num_topics))
+        } else {
+            CountVector::Dense(DenseCounts::new(num_topics))
+        }
+    }
+}
+
+impl TopicCounts for CountVector {
+    fn get(&self, topic: u32) -> u32 {
+        match self {
+            CountVector::Hash(h) => h.get(topic),
+            CountVector::Dense(d) => d.get(topic),
+        }
+    }
+
+    fn add(&mut self, topic: u32, delta: i32) {
+        match self {
+            CountVector::Hash(h) => h.add(topic, delta),
+            CountVector::Dense(d) => d.add(topic, delta),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            CountVector::Hash(h) => h.clear(),
+            CountVector::Dense(d) => d.clear(),
+        }
+    }
+
+    fn for_each(&self, f: impl FnMut(u32, u32)) {
+        match self {
+            CountVector::Hash(h) => h.for_each(f),
+            CountVector::Dense(d) => d.for_each(f),
+        }
+    }
+
+    fn num_nonzero(&self) -> usize {
+        match self {
+            CountVector::Hash(h) => h.num_nonzero(),
+            CountVector::Dense(d) => d.num_nonzero(),
+        }
+    }
+
+    fn total(&self) -> u64 {
+        match self {
+            CountVector::Hash(h) => h.total(),
+            CountVector::Dense(d) => d.total(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn reference_model<C: TopicCounts>(mut counts: C, ops: &[(u32, i32)]) {
+        let mut reference: HashMap<u32, i64> = HashMap::new();
+        for &(topic, delta) in ops {
+            // Skip deltas that would drive the reference negative (the real
+            // structures assume callers never do that).
+            let entry = reference.entry(topic).or_insert(0);
+            if *entry + i64::from(delta) < 0 {
+                continue;
+            }
+            *entry += delta as i64;
+            counts.add(topic, delta);
+        }
+        for (&topic, &expected) in &reference {
+            assert_eq!(counts.get(topic) as i64, expected, "topic {topic}");
+        }
+        let expected_total: i64 = reference.values().sum();
+        assert_eq!(counts.total() as i64, expected_total);
+        let expected_nonzero = reference.values().filter(|&&v| v > 0).count();
+        assert_eq!(counts.num_nonzero(), expected_nonzero);
+        let mut sum_from_iter = 0u64;
+        counts.for_each(|t, c| {
+            assert_eq!(c as i64, reference[&t]);
+            sum_from_iter += c as u64;
+        });
+        assert_eq!(sum_from_iter as i64, expected_total);
+    }
+
+    fn mixed_ops(seed: u64, n: usize, num_topics: u32) -> Vec<(u32, i32)> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let topic = rng.gen_range(0..num_topics);
+                let delta = if rng.gen_bool(0.7) { 1 } else { -1 };
+                (topic, delta)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hash_counts_match_reference_model() {
+        reference_model(HashCounts::with_expected(8, 1000), &mixed_ops(1, 5000, 200));
+    }
+
+    #[test]
+    fn dense_counts_match_reference_model() {
+        reference_model(DenseCounts::new(200), &mixed_ops(2, 5000, 200));
+    }
+
+    #[test]
+    fn auto_counts_match_reference_model() {
+        reference_model(CountVector::auto(10, 10_000), &mixed_ops(3, 5000, 200));
+        reference_model(CountVector::auto(500, 100), &mixed_ops(4, 5000, 100));
+    }
+
+    #[test]
+    fn auto_picks_hash_for_sparse_and_dense_for_long_docs() {
+        assert!(matches!(CountVector::auto(10, 10_000), CountVector::Hash(_)));
+        assert!(matches!(CountVector::auto(600, 1_000), CountVector::Dense(_)));
+    }
+
+    #[test]
+    fn hash_capacity_is_power_of_two_and_bounded() {
+        let h = HashCounts::with_expected(100, 1_000_000);
+        assert!(h.capacity().is_power_of_two());
+        assert!(h.capacity() >= 200);
+        let h = HashCounts::with_expected(1_000_000, 64);
+        assert!(h.capacity() <= 256, "capacity should be bounded by ~2K, got {}", h.capacity());
+    }
+
+    #[test]
+    fn hash_grows_when_overfull() {
+        let mut h = HashCounts::with_expected(2, 1_000_000);
+        let initial = h.capacity();
+        for t in 0..100u32 {
+            h.increment(t * 7919);
+        }
+        assert!(h.capacity() > initial);
+        for t in 0..100u32 {
+            assert_eq!(h.get(t * 7919), 1);
+        }
+        assert_eq!(h.total(), 100);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut h = HashCounts::with_expected(4, 100);
+        h.increment(3);
+        h.increment(3);
+        h.increment(7);
+        h.clear();
+        assert_eq!(h.get(3), 0);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.num_nonzero(), 0);
+
+        let mut d = DenseCounts::new(100);
+        d.increment(5);
+        d.clear();
+        assert_eq!(d.get(5), 0);
+        assert_eq!(d.total(), 0);
+    }
+
+    #[test]
+    fn increment_then_decrement_returns_to_zero() {
+        let mut h = HashCounts::with_expected(4, 100);
+        h.increment(42);
+        h.decrement(42);
+        assert_eq!(h.get(42), 0);
+        assert_eq!(h.num_nonzero(), 0);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn dense_exposes_slice() {
+        let mut d = DenseCounts::new(5);
+        d.add(2, 3);
+        assert_eq!(d.as_slice(), &[0, 0, 3, 0, 0]);
+    }
+
+    #[test]
+    fn to_pairs_round_trips() {
+        let mut h = HashCounts::with_expected(4, 1000);
+        h.add(10, 2);
+        h.add(999, 5);
+        let mut pairs = h.to_pairs();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(10, 2), (999, 5)]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Model-quality evaluation.
+//!
+//! The paper measures quality by the **log joint likelihood** (Section 6.1):
+//!
+//! ```text
+//! L = log p(W, Z | α, β)
+//!   = Σ_d [ ln Γ(ᾱ) − ln Γ(ᾱ + L_d) + Σ_k ( ln Γ(α_k + C_dk) − ln Γ(α_k) ) ]
+//!   + Σ_k [ ln Γ(β̄) − ln Γ(β̄ + C_k) + Σ_w ( ln Γ(β + C_kw) − ln Γ(β) ) ]
+//! ```
+//!
+//! Only non-zero counts contribute to the inner sums, so the cost is
+//! O(non-zeros), not O(DK + KV).
+
+use warplda_corpus::{Corpus, DocMajorView, WordMajorView};
+
+use crate::counts::TopicCounts;
+use crate::math::ln_gamma_ratio;
+use crate::params::ModelParams;
+use crate::state::SamplerState;
+
+/// Computes `log p(W, Z | α, β)` for arbitrary topic assignments `z`
+/// (doc-major token order).
+pub fn log_joint_likelihood(
+    corpus: &Corpus,
+    doc_view: &DocMajorView,
+    word_view: &WordMajorView,
+    params: &ModelParams,
+    z: &[u32],
+) -> f64 {
+    let state =
+        SamplerState::from_assignments(corpus, doc_view, word_view, *params, z.to_vec());
+    log_joint_likelihood_of_state(doc_view, word_view, &state)
+}
+
+/// Computes the log joint likelihood from an existing [`SamplerState`]
+/// (avoids re-counting when the caller already maintains counts).
+pub fn log_joint_likelihood_of_state(
+    doc_view: &DocMajorView,
+    word_view: &WordMajorView,
+    state: &SamplerState,
+) -> f64 {
+    let params = state.params();
+    let k = params.num_topics;
+    let vocab_size = word_view.num_words();
+    let alpha = params.alpha;
+    let alpha_bar = params.alpha_bar();
+    let beta = params.beta;
+    let beta_bar = params.beta_bar(vocab_size);
+
+    let mut ll = 0.0;
+
+    // Document part.
+    for d in 0..doc_view.num_docs() {
+        let len = doc_view.doc_len(d as u32) as u64;
+        ll -= ln_gamma_ratio(alpha_bar, len);
+        state.doc_counts(d as u32).for_each(|_, c| {
+            ll += ln_gamma_ratio(alpha, c as u64);
+        });
+    }
+
+    // Word part: Σ_k Σ_w ln Γ(β + C_kw) − ln Γ(β), grouped by word rows.
+    for w in 0..vocab_size {
+        state.word_counts(w as u32).for_each(|_, c| {
+            ll += ln_gamma_ratio(beta, c as u64);
+        });
+    }
+    for t in 0..k {
+        let ck = state.topic_counts()[t] as u64;
+        ll -= ln_gamma_ratio(beta_bar, ck);
+    }
+    ll
+}
+
+/// Per-token perplexity `exp(−L / T)` of the joint likelihood; a scale-free
+/// number that is easier to compare across corpora than raw log likelihood.
+pub fn perplexity_per_token(log_likelihood: f64, num_tokens: u64) -> f64 {
+    if num_tokens == 0 {
+        return f64::NAN;
+    }
+    (-log_likelihood / num_tokens as f64).exp()
+}
+
+/// Returns, for each topic, the `top_n` highest-count words as
+/// `(word_id, count)` pairs — the standard qualitative inspection of a topic
+/// model.
+pub fn top_words(
+    state: &SamplerState,
+    vocab_size: usize,
+    top_n: usize,
+) -> Vec<Vec<(u32, u32)>> {
+    let k = state.params().num_topics;
+    let mut per_topic: Vec<Vec<(u32, u32)>> = vec![Vec::new(); k];
+    for w in 0..vocab_size {
+        state.word_counts(w as u32).for_each(|t, c| {
+            per_topic[t as usize].push((w as u32, c));
+        });
+    }
+    for list in &mut per_topic {
+        list.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        list.truncate(top_n);
+    }
+    per_topic
+}
+
+/// Renders the top words of every topic using the corpus vocabulary; one line
+/// per topic. Used by the examples.
+pub fn format_topics(corpus: &Corpus, state: &SamplerState, top_n: usize) -> String {
+    let lists = top_words(state, corpus.vocab_size(), top_n);
+    let mut out = String::new();
+    for (topic, list) in lists.iter().enumerate() {
+        if list.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("topic {topic:>4}:"));
+        for &(w, c) in list {
+            let word = corpus.vocab().word(w).unwrap_or("?");
+            out.push_str(&format!(" {word}({c})"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::ln_gamma;
+    use warplda_corpus::CorpusBuilder;
+
+    fn tiny() -> (Corpus, DocMajorView, WordMajorView) {
+        let mut b = CorpusBuilder::new();
+        b.push_text_doc(["x", "y", "x"]);
+        b.push_text_doc(["y", "z"]);
+        let corpus = b.build().unwrap();
+        let dv = DocMajorView::build(&corpus);
+        let wv = WordMajorView::build(&corpus, &dv);
+        (corpus, dv, wv)
+    }
+
+    /// Brute-force likelihood straight from the formula, with dense loops over
+    /// all (d, k) and (k, w) pairs — the ground truth for the sparse version.
+    fn brute_force_ll(
+        corpus: &Corpus,
+        dv: &DocMajorView,
+        params: &ModelParams,
+        z: &[u32],
+    ) -> f64 {
+        let k = params.num_topics;
+        let v = corpus.vocab_size();
+        let d_count = corpus.num_docs();
+        let mut cdk = vec![vec![0u64; k]; d_count];
+        let mut ckw = vec![vec![0u64; v]; k];
+        let mut ck = vec![0u64; k];
+        for d in 0..d_count {
+            for i in dv.doc_range(d as u32) {
+                let t = z[i] as usize;
+                let w = dv.word_of(i) as usize;
+                cdk[d][t] += 1;
+                ckw[t][w] += 1;
+                ck[t] += 1;
+            }
+        }
+        let alpha = params.alpha;
+        let alpha_bar = params.alpha_bar();
+        let beta = params.beta;
+        let beta_bar = params.beta_bar(v);
+        let mut ll = 0.0;
+        for d in 0..d_count {
+            let len: u64 = cdk[d].iter().sum();
+            ll += ln_gamma(alpha_bar) - ln_gamma(alpha_bar + len as f64);
+            for t in 0..k {
+                ll += ln_gamma(alpha + cdk[d][t] as f64) - ln_gamma(alpha);
+            }
+        }
+        for t in 0..k {
+            ll += ln_gamma(beta_bar) - ln_gamma(beta_bar + ck[t] as f64);
+            for w in 0..v {
+                ll += ln_gamma(beta + ckw[t][w] as f64) - ln_gamma(beta);
+            }
+        }
+        ll
+    }
+
+    #[test]
+    fn sparse_likelihood_matches_brute_force() {
+        let (corpus, dv, wv) = tiny();
+        let params = ModelParams::new(3, 0.4, 0.05);
+        for z in [vec![0u32, 1, 0, 2, 1], vec![0, 0, 0, 0, 0], vec![2, 1, 0, 2, 1]] {
+            let fast = log_joint_likelihood(&corpus, &dv, &wv, &params, &z);
+            let slow = brute_force_ll(&corpus, &dv, &params, &z);
+            assert!((fast - slow).abs() < 1e-8, "z={z:?}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn coherent_assignment_beats_random_assignment() {
+        // Two "topics" with disjoint vocabularies; assigning by vocabulary must
+        // score higher than mixing them.
+        let mut b = CorpusBuilder::new();
+        for _ in 0..20 {
+            b.push_text_doc(["cat", "dog", "pet", "cat"]);
+            b.push_text_doc(["stock", "bond", "market", "stock"]);
+        }
+        let corpus = b.build().unwrap();
+        let dv = DocMajorView::build(&corpus);
+        let wv = WordMajorView::build(&corpus, &dv);
+        let params = ModelParams::new(2, 0.5, 0.1);
+        let coherent: Vec<u32> =
+            (0..dv.num_tokens()).map(|i| if (i / 4) % 2 == 0 { 0 } else { 1 }).collect();
+        let mixed: Vec<u32> = (0..dv.num_tokens()).map(|i| (i % 2) as u32).collect();
+        let ll_coherent = log_joint_likelihood(&corpus, &dv, &wv, &params, &coherent);
+        let ll_mixed = log_joint_likelihood(&corpus, &dv, &wv, &params, &mixed);
+        assert!(
+            ll_coherent > ll_mixed + 10.0,
+            "coherent {ll_coherent} should beat mixed {ll_mixed}"
+        );
+    }
+
+    #[test]
+    fn perplexity_is_monotone_in_likelihood() {
+        let p1 = perplexity_per_token(-1000.0, 100);
+        let p2 = perplexity_per_token(-900.0, 100);
+        assert!(p2 < p1);
+        assert!(perplexity_per_token(-10.0, 0).is_nan());
+    }
+
+    #[test]
+    fn top_words_orders_by_count() {
+        let (corpus, dv, wv) = tiny();
+        let params = ModelParams::new(2, 0.5, 0.1);
+        // x→topic0 (2 occurrences), y→topic1 (2), z→topic0 (1).
+        let z = vec![0u32, 1, 0, 1, 0];
+        let state = SamplerState::from_assignments(&corpus, &dv, &wv, params, z);
+        let tops = top_words(&state, corpus.vocab_size(), 2);
+        let x = corpus.vocab().get("x").unwrap();
+        assert_eq!(tops[0][0].0, x);
+        assert_eq!(tops[0][0].1, 2);
+        let rendered = format_topics(&corpus, &state, 2);
+        assert!(rendered.contains("topic"));
+        assert!(rendered.contains("x(2)"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Model hyper-parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the LDA model: the number of topics `K` and the
+/// symmetric Dirichlet parameters `α` (document–topic) and `β` (topic–word).
+///
+/// The paper's experiments use `α = 50/K` and `β = 0.01` (Section 6.1);
+/// [`ModelParams::paper_defaults`] reproduces that.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Number of topics `K`.
+    pub num_topics: usize,
+    /// Symmetric document–topic Dirichlet parameter `α`.
+    pub alpha: f64,
+    /// Symmetric topic–word Dirichlet parameter `β`.
+    pub beta: f64,
+}
+
+impl ModelParams {
+    /// Creates parameters with explicit values.
+    ///
+    /// # Panics
+    /// Panics if `num_topics` is zero or either hyper-parameter is not
+    /// strictly positive.
+    pub fn new(num_topics: usize, alpha: f64, beta: f64) -> Self {
+        assert!(num_topics > 0, "need at least one topic");
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive, got {alpha}");
+        assert!(beta > 0.0 && beta.is_finite(), "beta must be positive, got {beta}");
+        Self { num_topics, alpha, beta }
+    }
+
+    /// The paper's settings: `α = 50/K`, `β = 0.01`.
+    pub fn paper_defaults(num_topics: usize) -> Self {
+        Self::new(num_topics, 50.0 / num_topics as f64, 0.01)
+    }
+
+    /// `ᾱ = Σ_k α_k = K·α` for the symmetric prior.
+    pub fn alpha_bar(&self) -> f64 {
+        self.alpha * self.num_topics as f64
+    }
+
+    /// `β̄ = V·β` for a vocabulary of size `vocab_size`.
+    pub fn beta_bar(&self, vocab_size: usize) -> f64 {
+        self.beta * vocab_size as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_follow_section_6_1() {
+        let p = ModelParams::paper_defaults(1000);
+        assert_eq!(p.num_topics, 1000);
+        assert!((p.alpha - 0.05).abs() < 1e-12);
+        assert!((p.beta - 0.01).abs() < 1e-12);
+        assert!((p.alpha_bar() - 50.0).abs() < 1e-9);
+        assert!((p.beta_bar(102_000) - 1020.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one topic")]
+    fn zero_topics_rejected() {
+        let _ = ModelParams::new(0, 0.1, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn non_positive_alpha_rejected() {
+        let _ = ModelParams::new(10, 0.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be positive")]
+    fn non_positive_beta_rejected() {
+        let _ = ModelParams::new(10, 0.1, -1.0);
+    }
+}

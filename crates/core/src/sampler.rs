@@ -1,0 +1,125 @@
+//! The common [`Sampler`] interface shared by WarpLDA and all baselines.
+
+use warplda_corpus::{Corpus, DocMajorView, WordMajorView};
+
+use crate::eval;
+use crate::params::ModelParams;
+use crate::state::SamplerState;
+
+/// An LDA inference algorithm that refines topic assignments iteration by
+/// iteration.
+///
+/// The trait is deliberately small: the experiment harness only needs to run
+/// iterations, read back assignments and compute likelihoods; everything else
+/// (proposals, count layouts, phases) is an implementation detail of each
+/// sampler.
+pub trait Sampler {
+    /// Short human-readable name used in reports ("WarpLDA", "LightLDA", …).
+    fn name(&self) -> &'static str;
+
+    /// The model hyper-parameters.
+    fn params(&self) -> &ModelParams;
+
+    /// Runs one full iteration (one pass over all tokens; for WarpLDA one
+    /// document phase plus one word phase).
+    fn run_iteration(&mut self);
+
+    /// Number of iterations completed so far.
+    fn iterations(&self) -> u64;
+
+    /// Current topic assignments, in document-major token order.
+    fn assignments(&self) -> Vec<u32>;
+
+    /// Builds a [`SamplerState`] (counts included) for the current
+    /// assignments. Default implementation recounts from scratch.
+    fn snapshot_state(
+        &self,
+        corpus: &Corpus,
+        doc_view: &DocMajorView,
+        word_view: &WordMajorView,
+    ) -> SamplerState {
+        SamplerState::from_assignments(corpus, doc_view, word_view, *self.params(), self.assignments())
+    }
+
+    /// Log joint likelihood of the current assignments.
+    fn log_likelihood(
+        &self,
+        corpus: &Corpus,
+        doc_view: &DocMajorView,
+        word_view: &WordMajorView,
+    ) -> f64 {
+        let state = self.snapshot_state(corpus, doc_view, word_view);
+        eval::log_joint_likelihood_of_state(doc_view, word_view, &state)
+    }
+}
+
+/// Convenience driver: runs `iterations` iterations and returns the
+/// log-likelihood after each one. Used by tests, examples and the convergence
+/// benchmarks.
+pub fn run_and_trace<S: Sampler>(
+    sampler: &mut S,
+    corpus: &Corpus,
+    doc_view: &DocMajorView,
+    word_view: &WordMajorView,
+    iterations: usize,
+) -> Vec<f64> {
+    let mut trace = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        sampler.run_iteration();
+        trace.push(sampler.log_likelihood(corpus, doc_view, word_view));
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fake sampler that flips all assignments to topic 0 on the first
+    /// iteration; lets us test the trait's default methods in isolation.
+    struct Fake {
+        params: ModelParams,
+        z: Vec<u32>,
+        iters: u64,
+    }
+
+    impl Sampler for Fake {
+        fn name(&self) -> &'static str {
+            "Fake"
+        }
+        fn params(&self) -> &ModelParams {
+            &self.params
+        }
+        fn run_iteration(&mut self) {
+            self.z.iter_mut().for_each(|t| *t = 0);
+            self.iters += 1;
+        }
+        fn iterations(&self) -> u64 {
+            self.iters
+        }
+        fn assignments(&self) -> Vec<u32> {
+            self.z.clone()
+        }
+    }
+
+    #[test]
+    fn default_methods_work() {
+        let mut b = warplda_corpus::CorpusBuilder::new();
+        b.push_text_doc(["p", "q", "p"]);
+        b.push_text_doc(["q", "r"]);
+        let corpus = b.build().unwrap();
+        let dv = DocMajorView::build(&corpus);
+        let wv = WordMajorView::build(&corpus, &dv);
+        let params = ModelParams::new(2, 0.5, 0.1);
+        let mut fake = Fake { params, z: vec![0, 1, 0, 1, 0], iters: 0 };
+        let ll_before = fake.log_likelihood(&corpus, &dv, &wv);
+        assert!(ll_before.is_finite());
+        let trace = run_and_trace(&mut fake, &corpus, &dv, &wv, 3);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(fake.iterations(), 3);
+        assert!(trace.iter().all(|l| l.is_finite()));
+        // Snapshot agrees with assignments.
+        let state = fake.snapshot_state(&corpus, &dv, &wv);
+        assert_eq!(state.assignments(), &fake.assignments()[..]);
+    }
+}

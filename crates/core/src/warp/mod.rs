@@ -1,0 +1,569 @@
+//! WarpLDA (Section 4 of the paper): an O(1)-per-token MCEM sampler whose
+//! randomly accessed memory per document/word is a single O(K) vector.
+//!
+//! The sampler is built directly on the [`warplda_sparse::TokenMatrix`]
+//! framework of Section 5: the only persistent per-token state is the entry
+//! data (the current topic assignment) plus `M` topic proposals per token kept
+//! in a flat side array indexed by entry id. Neither `Cd` nor `Cw` is ever
+//! materialized — each row/column count vector is recomputed on the fly while
+//! its document/word is being visited and discarded afterwards (Section 4.4,
+//! M-step).
+//!
+//! One iteration is two passes (Algorithm 2):
+//!
+//! 1. **Word phase** (`VisitByColumn`): for each word, compute `c_w`, run the
+//!    MH chains that consume the *document* proposals drawn in the previous
+//!    doc phase (their acceptance rate only needs `c_w` and `c_k`), then draw
+//!    fresh *word* proposals `q_word(k) ∝ C_wk + β` from an alias table over
+//!    the updated `c_w`.
+//! 2. **Document phase** (`VisitByRow`): for each document, compute `c_d`, run
+//!    the MH chains that consume the word proposals (acceptance needs only
+//!    `c_d` and `c_k`), then draw fresh document proposals
+//!    `q_doc(k) ∝ C_dk + α` by random positioning.
+//!
+//! The global vector `c_k` is re-accumulated during each phase and swapped in
+//! at the phase boundary (delayed update), which is what makes the reordering
+//! legal.
+
+pub mod parallel;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use warplda_cachesim::{MemoryProbe, NoProbe, RegionId};
+use warplda_corpus::{Corpus, DocMajorView};
+use warplda_sampling::{new_rng, Dice, SparseAliasTable};
+use warplda_sparse::TokenMatrix;
+
+use crate::counts::{CountVector, TopicCounts};
+use crate::params::ModelParams;
+use crate::sampler::Sampler;
+
+/// Tuning knobs of WarpLDA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarpLdaConfig {
+    /// Number of MH proposals kept per token (`M` in the paper; Figures 5–8
+    /// use 1–16, with 1, 2 or 4 recommended).
+    pub mh_steps: usize,
+    /// Use the open-addressing hash tables of Section 5.4 for the per-row /
+    /// per-column count vectors when they are expected to be sparse; when
+    /// `false` a dense reusable vector is always used (ablation knob).
+    pub use_hash_counts: bool,
+}
+
+impl Default for WarpLdaConfig {
+    fn default() -> Self {
+        Self { mh_steps: 2, use_hash_counts: true }
+    }
+}
+
+impl WarpLdaConfig {
+    /// Configuration with a specific number of MH steps.
+    pub fn with_mh_steps(mh_steps: usize) -> Self {
+        assert!(mh_steps >= 1, "need at least one MH proposal per token");
+        Self { mh_steps, ..Self::default() }
+    }
+}
+
+/// The WarpLDA sampler, generic over an optional memory probe.
+pub struct WarpLda<P: MemoryProbe = NoProbe> {
+    params: ModelParams,
+    config: WarpLdaConfig,
+    /// D × V matrix; entry data = current topic assignment of that token.
+    matrix: TokenMatrix<u32>,
+    /// `M` proposals per entry, `proposals[entry * M + i]`.
+    proposals: Vec<u32>,
+    /// Global topic counts used (read-only) during the current phase.
+    topic_counts: Vec<u32>,
+    /// Global topic counts being accumulated for the next phase.
+    next_topic_counts: Vec<u32>,
+    /// Entry id of each doc-major token index (for exporting assignments).
+    entry_of_token: Vec<u32>,
+    rng: SmallRng,
+    iterations: u64,
+    beta_bar: f64,
+    vocab_size: usize,
+    probe: P,
+    region_cd: RegionId,
+    region_cw: RegionId,
+    region_ck: RegionId,
+}
+
+impl WarpLda<NoProbe> {
+    /// Creates an uninstrumented WarpLDA sampler with random initial topics.
+    pub fn new(corpus: &Corpus, params: ModelParams, config: WarpLdaConfig, seed: u64) -> Self {
+        Self::with_probe(corpus, params, config, seed, NoProbe)
+    }
+}
+
+impl<P: MemoryProbe> WarpLda<P> {
+    /// Creates a sampler whose count-vector accesses are reported to `probe`.
+    ///
+    /// Only the count structures are probed (`c_d`, `c_w`, `c_k`): the token
+    /// and proposal arrays are scanned strictly sequentially by construction
+    /// and are therefore irrelevant to the random-access analysis of
+    /// Sections 3 and 6 (Table 2 lists no sequential-access term for WarpLDA).
+    pub fn with_probe(
+        corpus: &Corpus,
+        params: ModelParams,
+        config: WarpLdaConfig,
+        seed: u64,
+        mut probe: P,
+    ) -> Self {
+        assert!(config.mh_steps >= 1, "need at least one MH proposal per token");
+        let doc_view = DocMajorView::build(corpus);
+        let num_docs = corpus.num_docs();
+        let vocab_size = corpus.vocab_size();
+        let k = params.num_topics;
+
+        // Build the token matrix: one entry per token, in doc-major order so
+        // the row slices keep the original token order.
+        let mut entries = Vec::with_capacity(doc_view.num_tokens());
+        for d in 0..num_docs {
+            for i in doc_view.doc_range(d as u32) {
+                entries.push((d as u32, doc_view.word_of(i)));
+            }
+        }
+        let mut matrix: TokenMatrix<u32> = TokenMatrix::from_entries(num_docs, vocab_size, &entries);
+
+        // Map each doc-major token index to its entry id.
+        let mut entry_of_token = vec![0u32; doc_view.num_tokens()];
+        {
+            let mut cursor = 0usize;
+            for d in 0..num_docs {
+                for &e in matrix.row_entry_ids(d as u32) {
+                    entry_of_token[cursor] = e;
+                    cursor += 1;
+                }
+            }
+        }
+
+        // Random initial topics + proposals.
+        let mut rng = new_rng(seed);
+        let mut topic_counts = vec![0u32; k];
+        for z in matrix.data_mut() {
+            let t = rng.dice(k) as u32;
+            *z = t;
+            topic_counts[t as usize] += 1;
+        }
+        let proposals: Vec<u32> =
+            (0..doc_view.num_tokens() * config.mh_steps).map(|_| rng.dice(k) as u32).collect();
+
+        let region_cd = probe.register_region("cd vector", k, 4);
+        let region_cw = probe.register_region("cw vector", k, 4);
+        let region_ck = probe.register_region("ck vector", k, 4);
+
+        Self {
+            params,
+            config,
+            matrix,
+            proposals,
+            topic_counts,
+            next_topic_counts: vec![0u32; k],
+            entry_of_token,
+            rng,
+            iterations: 0,
+            beta_bar: params.beta_bar(vocab_size),
+            vocab_size,
+            probe,
+            region_cd,
+            region_cw,
+            region_ck,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &WarpLdaConfig {
+        &self.config
+    }
+
+    /// The memory probe (e.g. to read cache statistics after a run).
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// The global topic counts as of the last completed phase.
+    pub fn topic_counts(&self) -> &[u32] {
+        &self.topic_counts
+    }
+
+    /// Access to the underlying token matrix (read-only).
+    pub fn matrix(&self) -> &TokenMatrix<u32> {
+        &self.matrix
+    }
+
+    /// Swaps in the freshly accumulated `c_k` at a phase boundary.
+    fn swap_topic_counts(&mut self) {
+        std::mem::swap(&mut self.topic_counts, &mut self.next_topic_counts);
+        self.next_topic_counts.fill(0);
+    }
+
+    /// The **word phase**: `VisitByColumn`, consuming doc proposals and
+    /// producing word proposals.
+    fn word_phase(&mut self) {
+        let k = self.params.num_topics;
+        let m = self.config.mh_steps;
+        let beta = self.params.beta;
+        let beta_bar = self.beta_bar;
+        let use_hash = self.config.use_hash_counts;
+
+        let Self { matrix, proposals, topic_counts, next_topic_counts, rng, probe, .. } = self;
+        let region_cw = self.region_cw;
+        let region_ck = self.region_ck;
+
+        matrix.visit_by_column(|_w, mut col| {
+            let len = col.len();
+            if len == 0 {
+                return;
+            }
+            probe.begin_scope();
+            // c_w on the fly.
+            let mut cw = if use_hash { CountVector::auto(len, k) } else { CountVector::Dense(crate::counts::DenseCounts::new(k)) };
+            for n in 0..len {
+                let t = *col.get(n);
+                cw.increment(t);
+                probe.write(region_cw, t as usize);
+            }
+
+            // Simulate the q_doc chains with the proposals drawn last doc phase.
+            for n in 0..len {
+                let entry = col.entry_id(n) as usize;
+                let mut z = *col.get(n);
+                for i in 0..m {
+                    let t = proposals[entry * m + i];
+                    if t != z {
+                        probe.read(region_cw, t as usize);
+                        probe.read(region_cw, z as usize);
+                        probe.read(region_ck, t as usize);
+                        probe.read(region_ck, z as usize);
+                        let ratio = (cw.get(t) as f64 + beta) / (cw.get(z) as f64 + beta)
+                            * (topic_counts[z as usize] as f64 + beta_bar)
+                            / (topic_counts[t as usize] as f64 + beta_bar);
+                        if ratio >= 1.0 || rng.gen::<f64>() < ratio {
+                            z = t;
+                        }
+                    }
+                }
+                *col.get_mut(n) = z;
+            }
+
+            // Recompute c_w from the updated assignments (Algorithm 2 "Update Cwk"),
+            // accumulate it into the next c_k, and build the alias table of
+            // q_word(k) ∝ C_wk + β.
+            cw.clear();
+            for n in 0..len {
+                let t = *col.get(n);
+                cw.increment(t);
+                probe.write(region_cw, t as usize);
+                next_topic_counts[t as usize] += 1;
+            }
+            let pairs = cw.to_pairs();
+            let alias = SparseAliasTable::new(
+                &pairs.iter().map(|&(t, c)| (t, c as f64)).collect::<Vec<_>>(),
+            );
+            // Mixture weights of q_word: counts part (mass L_w) vs smoothing
+            // part (mass K·β).
+            let count_mass = len as f64;
+            let smooth_mass = k as f64 * beta;
+            let p_count = count_mass / (count_mass + smooth_mass);
+
+            for n in 0..len {
+                let entry = col.entry_id(n) as usize;
+                for i in 0..m {
+                    let t = if rng.gen::<f64>() < p_count {
+                        alias.sample(rng)
+                    } else {
+                        rng.dice(k) as u32
+                    };
+                    proposals[entry * m + i] = t;
+                }
+            }
+            probe.end_scope();
+        });
+
+        self.swap_topic_counts();
+    }
+
+    /// The **document phase**: `VisitByRow`, consuming word proposals and
+    /// producing doc proposals.
+    fn doc_phase(&mut self) {
+        let k = self.params.num_topics;
+        let m = self.config.mh_steps;
+        let alpha = self.params.alpha;
+        let alpha_bar = self.params.alpha_bar();
+        let beta_bar = self.beta_bar;
+        let use_hash = self.config.use_hash_counts;
+
+        let Self { matrix, proposals, topic_counts, next_topic_counts, rng, probe, .. } = self;
+        let region_cd = self.region_cd;
+        let region_ck = self.region_ck;
+
+        matrix.visit_by_row(|_d, mut row| {
+            let len = row.len();
+            if len == 0 {
+                return;
+            }
+            probe.begin_scope();
+            // c_d on the fly.
+            let mut cd = if use_hash { CountVector::auto(len, k) } else { CountVector::Dense(crate::counts::DenseCounts::new(k)) };
+            for n in 0..len {
+                let t = *row.get(n);
+                cd.increment(t);
+                probe.write(region_cd, t as usize);
+            }
+
+            // Simulate the q_word chains with the proposals drawn last word phase.
+            for n in 0..len {
+                let entry = row.entry_id(n) as usize;
+                let mut z = *row.get(n);
+                for i in 0..m {
+                    let t = proposals[entry * m + i];
+                    if t != z {
+                        probe.read(region_cd, t as usize);
+                        probe.read(region_cd, z as usize);
+                        probe.read(region_ck, t as usize);
+                        probe.read(region_ck, z as usize);
+                        let ratio = (cd.get(t) as f64 + alpha) / (cd.get(z) as f64 + alpha)
+                            * (topic_counts[z as usize] as f64 + beta_bar)
+                            / (topic_counts[t as usize] as f64 + beta_bar);
+                        if ratio >= 1.0 || rng.gen::<f64>() < ratio {
+                            z = t;
+                        }
+                    }
+                }
+                if z != *row.get(n) {
+                    // Keep c_d in sync so the upcoming random positioning reflects
+                    // the updated assignments of this document.
+                    cd.decrement(*row.get(n));
+                    cd.increment(z);
+                }
+                *row.get_mut(n) = z;
+            }
+
+            // Accumulate the updated c_d into the next c_k.
+            cd.for_each(|t, c| next_topic_counts[t as usize] += c);
+
+            // Draw the doc proposals q_doc(k) ∝ C_dk + α by random positioning:
+            // with probability L_d/(L_d + ᾱ) reuse the topic of a uniformly
+            // chosen token of this document, otherwise a uniform topic.
+            let p_count = len as f64 / (len as f64 + alpha_bar);
+            for n in 0..len {
+                let entry = row.entry_id(n) as usize;
+                for i in 0..m {
+                    let t = if rng.gen::<f64>() < p_count {
+                        let pos = rng.dice(len);
+                        *row.get(pos)
+                    } else {
+                        rng.dice(k) as u32
+                    };
+                    proposals[entry * m + i] = t;
+                }
+            }
+            probe.end_scope();
+        });
+
+        self.swap_topic_counts();
+    }
+}
+
+impl<P: MemoryProbe> Sampler for WarpLda<P> {
+    fn name(&self) -> &'static str {
+        "WarpLDA"
+    }
+
+    fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    fn run_iteration(&mut self) {
+        // Algorithm 2: word phase first, then document phase.
+        self.word_phase();
+        self.doc_phase();
+        self.iterations += 1;
+    }
+
+    fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    fn assignments(&self) -> Vec<u32> {
+        let data = self.matrix.data();
+        self.entry_of_token.iter().map(|&e| data[e as usize]).collect()
+    }
+}
+
+/// Sanity helper shared by the serial and parallel test suites: recomputes the
+/// global topic histogram straight from the matrix.
+#[cfg(test)]
+pub(crate) fn topic_histogram(matrix: &TokenMatrix<u32>, k: usize) -> Vec<u32> {
+    let mut hist = vec![0u32; k];
+    for &t in matrix.data() {
+        hist[t as usize] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cgs::CollapsedGibbs;
+    use crate::eval::log_joint_likelihood;
+    use warplda_cachesim::{CacheProbe, HierarchyConfig};
+    use warplda_corpus::{CorpusBuilder, DatasetPreset, WordMajorView};
+
+    fn themed_corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        for _ in 0..30 {
+            b.push_text_doc(["river", "lake", "water", "fish", "river", "boat"]);
+            b.push_text_doc(["desert", "sand", "dune", "cactus", "desert", "heat"]);
+        }
+        b.build().unwrap()
+    }
+
+    fn ll_of<S: Sampler>(s: &S, corpus: &Corpus) -> f64 {
+        let dv = DocMajorView::build(corpus);
+        let wv = WordMajorView::build(corpus, &dv);
+        log_joint_likelihood(corpus, &dv, &wv, s.params(), &s.assignments())
+    }
+
+    #[test]
+    fn topic_counts_stay_consistent_with_assignments() {
+        let corpus = themed_corpus();
+        let params = ModelParams::new(5, 0.3, 0.05);
+        let mut s = WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(2), 3);
+        for _ in 0..4 {
+            s.run_iteration();
+            let hist = topic_histogram(s.matrix(), 5);
+            assert_eq!(s.topic_counts(), &hist[..], "ck must equal the topic histogram");
+            let total: u32 = hist.iter().sum();
+            assert_eq!(total as u64, corpus.num_tokens());
+        }
+    }
+
+    #[test]
+    fn assignments_cover_every_token_and_valid_topics() {
+        let corpus = themed_corpus();
+        let params = ModelParams::new(7, 0.3, 0.05);
+        let mut s = WarpLda::new(&corpus, params, WarpLdaConfig::default(), 5);
+        s.run_iteration();
+        let z = s.assignments();
+        assert_eq!(z.len() as u64, corpus.num_tokens());
+        assert!(z.iter().all(|&t| t < 7));
+    }
+
+    #[test]
+    fn likelihood_improves_and_approaches_cgs() {
+        let corpus = themed_corpus();
+        let params = ModelParams::new(2, 0.5, 0.1);
+        let mut warp = WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(4), 7);
+        let mut cgs = CollapsedGibbs::new(&corpus, params, 7);
+        let ll0 = ll_of(&warp, &corpus);
+        for _ in 0..50 {
+            warp.run_iteration();
+            cgs.run_iteration();
+        }
+        let ll_w = ll_of(&warp, &corpus);
+        let ll_c = ll_of(&cgs, &corpus);
+        assert!(ll_w > ll0, "likelihood should improve: {ll0} -> {ll_w}");
+        assert!(
+            (ll_w - ll_c).abs() < 0.06 * ll_c.abs(),
+            "WarpLDA {ll_w} should approach CGS {ll_c} (Section 6.3 claim)"
+        );
+    }
+
+    #[test]
+    fn separates_planted_topics() {
+        let corpus = themed_corpus();
+        let params = ModelParams::new(2, 0.5, 0.1);
+        let mut s = WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(4), 11);
+        for _ in 0..60 {
+            s.run_iteration();
+        }
+        let z = s.assignments();
+        let dv = DocMajorView::build(&corpus);
+        // Majority topic of the "river" documents vs the "desert" documents.
+        let mut votes = [[0u32; 2]; 2];
+        for d in 0..corpus.num_docs() {
+            let theme = d % 2;
+            for i in dv.doc_range(d as u32) {
+                votes[theme][z[i] as usize] += 1;
+            }
+        }
+        let river_topic = if votes[0][0] > votes[0][1] { 0 } else { 1 };
+        let desert_topic = if votes[1][0] > votes[1][1] { 0 } else { 1 };
+        assert_ne!(river_topic, desert_topic, "themes should map to different topics: {votes:?}");
+        // Majorities should be strong.
+        assert!(votes[0][river_topic] * 10 > (votes[0][0] + votes[0][1]) * 7);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let corpus = DatasetPreset::Tiny.generate_scaled(10);
+        let params = ModelParams::new(5, 0.5, 0.1);
+        let mut a = WarpLda::new(&corpus, params, WarpLdaConfig::default(), 42);
+        let mut b = WarpLda::new(&corpus, params, WarpLdaConfig::default(), 42);
+        for _ in 0..2 {
+            a.run_iteration();
+            b.run_iteration();
+        }
+        assert_eq!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    fn dense_and_hash_count_configurations_both_converge() {
+        let corpus = themed_corpus();
+        let params = ModelParams::new(2, 0.5, 0.1);
+        for use_hash in [true, false] {
+            let cfg = WarpLdaConfig { mh_steps: 2, use_hash_counts: use_hash };
+            let mut s = WarpLda::new(&corpus, params, cfg, 13);
+            let ll0 = ll_of(&s, &corpus);
+            for _ in 0..30 {
+                s.run_iteration();
+            }
+            assert!(ll_of(&s, &corpus) > ll0, "use_hash={use_hash} should still converge");
+        }
+    }
+
+    #[test]
+    fn more_mh_steps_never_hurts_much() {
+        // Figure 8: larger M converges at least as fast per iteration.
+        let corpus = themed_corpus();
+        let params = ModelParams::new(2, 0.5, 0.1);
+        let mut m1 = WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(1), 17);
+        let mut m8 = WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(8), 17);
+        for _ in 0..15 {
+            m1.run_iteration();
+            m8.run_iteration();
+        }
+        let ll1 = ll_of(&m1, &corpus);
+        let ll8 = ll_of(&m8, &corpus);
+        assert!(ll8 > ll1 - 0.02 * ll1.abs(), "M=8 ({ll8}) should not lag far behind M=1 ({ll1})");
+    }
+
+    #[test]
+    fn cache_probe_shows_small_working_set() {
+        // WarpLDA's random accesses go to O(K) vectors. With K chosen so that
+        // the vectors overflow the tiny test hierarchy's L1/L2 but fit its
+        // 16 KiB L3, the accesses must be absorbed by the L3 (contrast with
+        // the LightLDA/F+LDA matrices, exercised in the table4 benchmark).
+        let corpus = themed_corpus();
+        let params = ModelParams::new(1024, 0.5, 0.1);
+        let probe = CacheProbe::new(HierarchyConfig::tiny_for_tests());
+        let mut s = WarpLda::with_probe(&corpus, params, WarpLdaConfig::with_mh_steps(2), 19, probe);
+        for _ in 0..3 {
+            s.run_iteration();
+        }
+        let stats = s.probe().stats();
+        assert!(stats.accesses > 0);
+        assert!(
+            stats.l3_miss_rate() < 0.3,
+            "WarpLDA working set should fit the cache: {stats:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MH proposal")]
+    fn zero_mh_steps_rejected() {
+        let _ = WarpLdaConfig::with_mh_steps(0);
+    }
+}

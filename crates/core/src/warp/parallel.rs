@@ -1,0 +1,441 @@
+//! Multi-threaded WarpLDA (Section 5.3.1).
+//!
+//! WarpLDA parallelizes trivially because workers own disjoint documents
+//! (doc phase) or words (word phase) and the only shared state — the global
+//! topic vector `c_k` — is read-only within a phase and merged at the phase
+//! boundary. This driver reproduces the paper's shared-memory setup:
+//!
+//! * **word phase** — each worker owns a contiguous, token-balanced range of
+//!   columns; the CSC data and the proposal array split into disjoint `&mut`
+//!   slices, so this pass is entirely safe code;
+//! * **doc phase** — rows reach their entries through the pointer
+//!   indirection, so workers share a raw pointer to the entry/proposal arrays;
+//!   safety rests on the row-partition being a partition (each entry belongs
+//!   to exactly one row, each row to exactly one worker).
+//!
+//! Workers use independent deterministic RNG streams
+//! ([`warplda_sampling::split_seed`]), so a run is reproducible for a fixed
+//! thread count.
+
+use crossbeam::thread;
+use rand::Rng;
+
+use warplda_cachesim::NoProbe;
+use warplda_corpus::Corpus;
+use warplda_sampling::{new_rng, split_seed, Dice, SparseAliasTable};
+use warplda_sparse::{partition_by_size, PartitionStrategy};
+
+use crate::counts::{CountVector, TopicCounts};
+use crate::params::ModelParams;
+use crate::sampler::Sampler;
+
+use super::{WarpLda, WarpLdaConfig};
+
+/// A copyable wrapper that lets worker threads share a raw pointer; see the
+/// module docs for the disjointness argument.
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Multi-threaded WarpLDA driver (Figure 9a).
+pub struct ParallelWarpLda {
+    inner: WarpLda<NoProbe>,
+    num_threads: usize,
+    seed: u64,
+}
+
+impl ParallelWarpLda {
+    /// Creates a parallel sampler over `num_threads` worker threads.
+    pub fn new(
+        corpus: &Corpus,
+        params: ModelParams,
+        config: WarpLdaConfig,
+        seed: u64,
+        num_threads: usize,
+    ) -> Self {
+        assert!(num_threads >= 1, "need at least one worker thread");
+        Self { inner: WarpLda::new(corpus, params, config, seed), num_threads, seed }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Read-only access to the wrapped serial sampler.
+    pub fn inner(&self) -> &WarpLda<NoProbe> {
+        &self.inner
+    }
+
+    fn parallel_word_phase(&mut self) {
+        let k = self.inner.params.num_topics;
+        let m = self.inner.config.mh_steps;
+        let beta = self.inner.params.beta;
+        let beta_bar = self.inner.beta_bar;
+        let use_hash = self.inner.config.use_hash_counts;
+        let num_threads = self.num_threads;
+        let vocab_size = self.inner.vocab_size;
+        let iteration = self.inner.iterations;
+        let base_seed = self.seed;
+
+        // Token-balanced contiguous column ranges.
+        let col_sizes: Vec<u64> =
+            (0..vocab_size).map(|w| self.inner.matrix.col_len(w as u32) as u64).collect();
+        let assignment = partition_by_size(&col_sizes, num_threads, PartitionStrategy::Dynamic);
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(num_threads);
+        let mut start = 0usize;
+        for worker in 0..num_threads {
+            let mut end = start;
+            while end < vocab_size && assignment[end] as usize == worker {
+                end += 1;
+            }
+            ranges.push((start, end));
+            start = end;
+        }
+        if start < vocab_size {
+            ranges.last_mut().expect("at least one worker").1 = vocab_size;
+        }
+
+        // Entry ranges corresponding to each worker's columns (contiguous).
+        let col_entry_start: Vec<usize> =
+            (0..=vocab_size).map(|w| if w == vocab_size {
+                self.inner.matrix.num_entries()
+            } else {
+                self.inner.matrix.col_entry_range(w as u32).start
+            }).collect();
+
+        let topic_counts = self.inner.topic_counts.clone();
+        let mut partial_next: Vec<Vec<u32>> = vec![vec![0u32; k]; num_threads];
+
+        {
+            let matrix = &mut self.inner.matrix;
+            let proposals = &mut self.inner.proposals;
+            let data = matrix.data_mut();
+
+            thread::scope(|scope| {
+                let mut data_rest: &mut [u32] = data;
+                let mut prop_rest: &mut [u32] = proposals;
+                let mut consumed_entries = 0usize;
+                let mut partials = partial_next.iter_mut();
+                for (worker, &(col_start, col_end)) in ranges.iter().enumerate() {
+                    let entry_start = col_entry_start[col_start];
+                    let entry_end = col_entry_start[col_end];
+                    let (skip_d, rest_d) = data_rest.split_at_mut(entry_start - consumed_entries);
+                    let _ = skip_d;
+                    let (my_data, rest_d) = rest_d.split_at_mut(entry_end - entry_start);
+                    data_rest = rest_d;
+                    let (skip_p, rest_p) =
+                        prop_rest.split_at_mut((entry_start - consumed_entries) * m);
+                    let _ = skip_p;
+                    let (my_props, rest_p) = rest_p.split_at_mut((entry_end - entry_start) * m);
+                    prop_rest = rest_p;
+                    consumed_entries = entry_end;
+
+                    let my_next = partials.next().expect("one partial per worker");
+                    let ck = &topic_counts;
+                    let col_entry_start = &col_entry_start;
+                    scope.spawn(move |_| {
+                        let mut rng = new_rng(split_seed(
+                            base_seed,
+                            iteration * 2_000 + worker as u64,
+                        ));
+                        for w in col_start..col_end {
+                            let lo = col_entry_start[w] - entry_start;
+                            let hi = col_entry_start[w + 1] - entry_start;
+                            let len = hi - lo;
+                            if len == 0 {
+                                continue;
+                            }
+                            let z_col = &mut my_data[lo..hi];
+                            let props = &mut my_props[lo * m..hi * m];
+
+                            let mut cw = if use_hash {
+                                CountVector::auto(len, k)
+                            } else {
+                                CountVector::Dense(crate::counts::DenseCounts::new(k))
+                            };
+                            for &t in z_col.iter() {
+                                cw.increment(t);
+                            }
+                            for (n, z) in z_col.iter_mut().enumerate() {
+                                for i in 0..m {
+                                    let t = props[n * m + i];
+                                    if t != *z {
+                                        let ratio = (cw.get(t) as f64 + beta)
+                                            / (cw.get(*z) as f64 + beta)
+                                            * (ck[*z as usize] as f64 + beta_bar)
+                                            / (ck[t as usize] as f64 + beta_bar);
+                                        if ratio >= 1.0 || rng.gen::<f64>() < ratio {
+                                            *z = t;
+                                        }
+                                    }
+                                }
+                            }
+                            cw.clear();
+                            for &t in z_col.iter() {
+                                cw.increment(t);
+                                my_next[t as usize] += 1;
+                            }
+                            let pairs = cw.to_pairs();
+                            let alias = SparseAliasTable::new(
+                                &pairs.iter().map(|&(t, c)| (t, c as f64)).collect::<Vec<_>>(),
+                            );
+                            let p_count = len as f64 / (len as f64 + k as f64 * beta);
+                            for slot in props.iter_mut() {
+                                *slot = if rng.gen::<f64>() < p_count {
+                                    alias.sample(&mut rng)
+                                } else {
+                                    rng.dice(k) as u32
+                                };
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("word-phase worker panicked");
+        }
+
+        // Merge partial c_k vectors and swap.
+        let next = &mut self.inner.next_topic_counts;
+        for partial in &partial_next {
+            for (t, &c) in partial.iter().enumerate() {
+                next[t] += c;
+            }
+        }
+        self.inner.swap_topic_counts();
+    }
+
+    fn parallel_doc_phase(&mut self) {
+        let k = self.inner.params.num_topics;
+        let m = self.inner.config.mh_steps;
+        let alpha = self.inner.params.alpha;
+        let alpha_bar = self.inner.params.alpha_bar();
+        let beta_bar = self.inner.beta_bar;
+        let use_hash = self.inner.config.use_hash_counts;
+        let num_threads = self.num_threads;
+        let num_docs = self.inner.matrix.num_rows();
+        let iteration = self.inner.iterations;
+        let base_seed = self.seed;
+
+        let row_sizes: Vec<u64> =
+            (0..num_docs).map(|d| self.inner.matrix.row_len(d as u32) as u64).collect();
+        let assignment = partition_by_size(&row_sizes, num_threads, PartitionStrategy::Greedy);
+
+        let topic_counts = self.inner.topic_counts.clone();
+        let mut partial_next: Vec<Vec<u32>> = vec![vec![0u32; k]; num_threads];
+
+        {
+            // Copy the per-row entry ids up front so no borrow of the matrix is
+            // alive while the workers write through the raw data pointers.
+            let row_entries: Vec<Vec<u32>> =
+                (0..num_docs).map(|d| self.inner.matrix.row_entry_ids(d as u32).to_vec()).collect();
+            let data_ptr = SendPtr(self.inner.matrix.data_mut().as_mut_ptr());
+            let prop_ptr = SendPtr(self.inner.proposals.as_mut_ptr());
+
+            thread::scope(|scope| {
+                let mut partials = partial_next.iter_mut();
+                for worker in 0..num_threads {
+                    let my_next = partials.next().expect("one partial per worker");
+                    let assignment = &assignment;
+                    let row_entries = &row_entries;
+                    let ck = &topic_counts;
+                    scope.spawn(move |_| {
+                        let data_ptr = data_ptr;
+                        let prop_ptr = prop_ptr;
+                        let mut rng = new_rng(split_seed(
+                            base_seed,
+                            iteration * 2_000 + 1_000 + worker as u64,
+                        ));
+                        // SAFETY: each entry id belongs to exactly one row and each
+                        // row to exactly one worker, so no element of `data` or
+                        // `proposals` is touched by two threads.
+                        let z_at = |e: u32| unsafe { &mut *data_ptr.0.add(e as usize) };
+                        let prop_at =
+                            |e: u32, i: usize| unsafe { &mut *prop_ptr.0.add(e as usize * m + i) };
+                        for (d, entries) in row_entries.iter().enumerate() {
+                            if assignment[d] as usize != worker {
+                                continue;
+                            }
+                            let len = entries.len();
+                            if len == 0 {
+                                continue;
+                            }
+                            let mut cd = if use_hash {
+                                CountVector::auto(len, k)
+                            } else {
+                                CountVector::Dense(crate::counts::DenseCounts::new(k))
+                            };
+                            for &e in entries.iter() {
+                                cd.increment(*z_at(e));
+                            }
+                            for &e in entries.iter() {
+                                let z = z_at(e);
+                                let old = *z;
+                                let mut cur = old;
+                                for i in 0..m {
+                                    let t = *prop_at(e, i);
+                                    if t != cur {
+                                        let ratio = (cd.get(t) as f64 + alpha)
+                                            / (cd.get(cur) as f64 + alpha)
+                                            * (ck[cur as usize] as f64 + beta_bar)
+                                            / (ck[t as usize] as f64 + beta_bar);
+                                        if ratio >= 1.0 || rng.gen::<f64>() < ratio {
+                                            cur = t;
+                                        }
+                                    }
+                                }
+                                if cur != old {
+                                    cd.decrement(old);
+                                    cd.increment(cur);
+                                    *z = cur;
+                                }
+                            }
+                            cd.for_each(|t, c| my_next[t as usize] += c);
+                            let p_count = len as f64 / (len as f64 + alpha_bar);
+                            for &e in entries.iter() {
+                                for i in 0..m {
+                                    *prop_at(e, i) = if rng.gen::<f64>() < p_count {
+                                        let pos = rng.dice(len);
+                                        *z_at(entries[pos])
+                                    } else {
+                                        rng.dice(k) as u32
+                                    };
+                                }
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("doc-phase worker panicked");
+        }
+
+        let next = &mut self.inner.next_topic_counts;
+        for partial in &partial_next {
+            for (t, &c) in partial.iter().enumerate() {
+                next[t] += c;
+            }
+        }
+        self.inner.swap_topic_counts();
+    }
+}
+
+impl Sampler for ParallelWarpLda {
+    fn name(&self) -> &'static str {
+        "WarpLDA (parallel)"
+    }
+
+    fn params(&self) -> &ModelParams {
+        &self.inner.params
+    }
+
+    fn run_iteration(&mut self) {
+        if self.num_threads == 1 {
+            self.inner.run_iteration();
+            return;
+        }
+        self.parallel_word_phase();
+        self.parallel_doc_phase();
+        self.inner.iterations += 1;
+    }
+
+    fn iterations(&self) -> u64 {
+        self.inner.iterations
+    }
+
+    fn assignments(&self) -> Vec<u32> {
+        self.inner.assignments()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::log_joint_likelihood;
+    use warplda_corpus::{CorpusBuilder, DatasetPreset, DocMajorView, WordMajorView};
+
+    fn themed_corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        for i in 0..40 {
+            if i % 2 == 0 {
+                b.push_text_doc(["wine", "grape", "cellar", "cork", "wine", "vineyard"]);
+            } else {
+                b.push_text_doc(["code", "bug", "compile", "test", "code", "debug"]);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn ll_of<S: Sampler>(s: &S, corpus: &Corpus) -> f64 {
+        let dv = DocMajorView::build(corpus);
+        let wv = WordMajorView::build(corpus, &dv);
+        log_joint_likelihood(corpus, &dv, &wv, s.params(), &s.assignments())
+    }
+
+    #[test]
+    fn topic_counts_match_assignments_after_parallel_iterations() {
+        let corpus = DatasetPreset::Tiny.generate_scaled(4);
+        let params = ModelParams::new(8, 0.5, 0.1);
+        let mut s = ParallelWarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(2), 3, 4);
+        for _ in 0..3 {
+            s.run_iteration();
+            let hist = super::super::topic_histogram(s.inner().matrix(), 8);
+            assert_eq!(s.inner().topic_counts(), &hist[..]);
+        }
+    }
+
+    #[test]
+    fn parallel_converges_like_serial() {
+        let corpus = themed_corpus();
+        let params = ModelParams::new(2, 0.5, 0.1);
+        let mut serial = WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(4), 7);
+        let mut parallel =
+            ParallelWarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(4), 7, 4);
+        for _ in 0..40 {
+            serial.run_iteration();
+            parallel.run_iteration();
+        }
+        let ll_s = ll_of(&serial, &corpus);
+        let ll_p = ll_of(&parallel, &corpus);
+        assert!(
+            (ll_s - ll_p).abs() < 0.05 * ll_s.abs(),
+            "parallel ({ll_p}) should converge like serial ({ll_s})"
+        );
+    }
+
+    #[test]
+    fn single_thread_delegates_to_serial() {
+        let corpus = DatasetPreset::Tiny.generate_scaled(8);
+        let params = ModelParams::new(5, 0.5, 0.1);
+        let mut a = ParallelWarpLda::new(&corpus, params, WarpLdaConfig::default(), 11, 1);
+        let mut b = WarpLda::new(&corpus, params, WarpLdaConfig::default(), 11);
+        a.run_iteration();
+        b.run_iteration();
+        assert_eq!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed_and_thread_count() {
+        let corpus = DatasetPreset::Tiny.generate_scaled(8);
+        let params = ModelParams::new(5, 0.5, 0.1);
+        let mut a = ParallelWarpLda::new(&corpus, params, WarpLdaConfig::default(), 13, 3);
+        let mut b = ParallelWarpLda::new(&corpus, params, WarpLdaConfig::default(), 13, 3);
+        for _ in 0..2 {
+            a.run_iteration();
+            b.run_iteration();
+        }
+        assert_eq!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let corpus = DatasetPreset::Tiny.generate_scaled(10);
+        let _ = ParallelWarpLda::new(&corpus, ModelParams::new(4, 0.5, 0.1), WarpLdaConfig::default(), 1, 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type shared across the corpus crate.
+
+use std::fmt;
+
+/// Errors produced while building, reading or writing corpora.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// An I/O error while reading or writing a corpus file.
+    Io(std::io::Error),
+    /// A line of an input file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A token id referenced a word outside of the vocabulary.
+    WordOutOfRange {
+        /// The offending word id.
+        word: u32,
+        /// The vocabulary size.
+        vocab_size: usize,
+    },
+    /// A document id was out of range for the corpus.
+    DocOutOfRange {
+        /// The offending document id.
+        doc: u32,
+        /// The number of documents.
+        num_docs: usize,
+    },
+    /// The input described an empty corpus where a non-empty one is required.
+    Empty(&'static str),
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io(e) => write!(f, "i/o error: {e}"),
+            CorpusError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            CorpusError::WordOutOfRange { word, vocab_size } => {
+                write!(f, "word id {word} out of range for vocabulary of size {vocab_size}")
+            }
+            CorpusError::DocOutOfRange { doc, num_docs } => {
+                write!(f, "document id {doc} out of range for corpus of {num_docs} documents")
+            }
+            CorpusError::Empty(what) => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CorpusError {
+    fn from(e: std::io::Error) -> Self {
+        CorpusError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = CorpusError::Parse { line: 3, message: "bad count".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = CorpusError::WordOutOfRange { word: 9, vocab_size: 5 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('5'));
+        let e = CorpusError::Empty("corpus");
+        assert!(e.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: CorpusError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,292 @@
+//! Walker's alias method (Section 2.2 of the paper).
+//!
+//! The alias table turns a K-outcome discrete distribution into K bins of
+//! equal probability, each holding at most two outcomes, so a sample costs one
+//! uniform bin choice plus one biased coin flip — O(1) — after an O(K) build.
+
+use rand::Rng;
+
+/// An alias table over outcomes `0..len`.
+///
+/// Built from unnormalized, non-negative weights. Zero-weight outcomes are
+/// never returned (unless every weight is zero, in which case the table falls
+/// back to the uniform distribution so that sampling always succeeds).
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Probability of keeping the bin's own outcome (vs. taking the alias).
+    prob: Vec<f64>,
+    /// The alias outcome of each bin.
+    alias: Vec<u32>,
+    /// Total weight the table was built from (before normalization).
+    total_weight: f64,
+}
+
+impl AliasTable {
+    /// Builds an alias table from unnormalized weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or contains a negative or non-finite value.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        let n = weights.len();
+        let mut total = 0.0f64;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative, got {w}");
+            total += w;
+        }
+        let mut prob = vec![1.0f64; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        if total <= 0.0 {
+            // Degenerate: uniform fallback.
+            return Self { prob, alias, total_weight: 0.0 };
+        }
+
+        // Scaled weights: mean 1.0 per bin.
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+
+        // Split indices into "small" (< 1) and "large" (>= 1) worklists.
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            // Donate the remainder of the large bin.
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: everything remaining gets probability 1 of itself.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+
+        Self { prob, alias, total_weight: total }
+    }
+
+    /// Builds an alias table from unnormalized `u32` counts (the common case
+    /// for topic-count vectors), avoiding an intermediate `Vec<f64>` allocation
+    /// at call sites.
+    pub fn from_counts(counts: &[u32], smoothing: f64) -> Self {
+        let weights: Vec<f64> = counts.iter().map(|&c| c as f64 + smoothing).collect();
+        Self::new(&weights)
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Returns `true` if the table has no outcomes (never true for a
+    /// successfully constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Total (unnormalized) weight the table was built from.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Draws one outcome in O(1).
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let bin = rng.gen_range(0..n);
+        if rng.gen::<f64>() < self.prob[bin] {
+            bin
+        } else {
+            self.alias[bin] as usize
+        }
+    }
+
+    /// The probability assigned to `outcome` by the table (reconstructed from
+    /// the bins; exact up to floating-point error). Mostly useful in tests.
+    pub fn probability(&self, outcome: usize) -> f64 {
+        let n = self.prob.len() as f64;
+        let mut p = self.prob[outcome] / n;
+        for (bin, &a) in self.alias.iter().enumerate() {
+            if a as usize == outcome && bin != outcome {
+                p += (1.0 - self.prob[bin]) / n;
+            }
+        }
+        // Bins that alias to themselves contribute their complement to themselves.
+        if self.alias[outcome] as usize == outcome {
+            p += (1.0 - self.prob[outcome]) / n;
+        }
+        p
+    }
+}
+
+/// A sparse alias table: outcomes are arbitrary `u32` labels (e.g. the
+/// non-zero topics of a document), weights are given per label.
+///
+/// AliasLDA builds these over the non-zero entries of the document-topic
+/// vector `c_d`; WarpLDA builds them over the word-topic vector `c_w`.
+#[derive(Debug, Clone)]
+pub struct SparseAliasTable {
+    labels: Vec<u32>,
+    table: AliasTable,
+}
+
+impl SparseAliasTable {
+    /// Builds from `(label, weight)` pairs.
+    ///
+    /// # Panics
+    /// Panics if `entries` is empty.
+    pub fn new(entries: &[(u32, f64)]) -> Self {
+        assert!(!entries.is_empty(), "sparse alias table needs at least one entry");
+        let labels: Vec<u32> = entries.iter().map(|&(l, _)| l).collect();
+        let weights: Vec<f64> = entries.iter().map(|&(_, w)| w).collect();
+        Self { labels, table: AliasTable::new(&weights) }
+    }
+
+    /// Number of (label, weight) entries.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` when the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Total unnormalized weight.
+    pub fn total_weight(&self) -> f64 {
+        self.table.total_weight()
+    }
+
+    /// Draws one label in O(1).
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        self.labels[self.table.sample(rng)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::new_rng;
+
+    fn empirical(table: &AliasTable, draws: usize, seed: u64) -> Vec<f64> {
+        let mut rng = new_rng(seed);
+        let mut counts = vec![0usize; table.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.into_iter().map(|c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn matches_target_distribution() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let freq = empirical(&table, 200_000, 7);
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            assert!((freq[i] - w / total).abs() < 0.01, "outcome {i}: {} vs {}", freq[i], w / total);
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let table = AliasTable::new(&[0.0, 5.0, 0.0, 5.0]);
+        let mut rng = new_rng(11);
+        for _ in 0..10_000 {
+            let s = table.sample(&mut rng);
+            assert!(s == 1 || s == 3);
+        }
+    }
+
+    #[test]
+    fn all_zero_weights_fall_back_to_uniform() {
+        let table = AliasTable::new(&[0.0, 0.0, 0.0]);
+        let freq = empirical(&table, 30_000, 13);
+        for f in freq {
+            assert!((f - 1.0 / 3.0).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let table = AliasTable::new(&[42.0]);
+        let mut rng = new_rng(5);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn probability_reconstruction_sums_to_one() {
+        let weights = [0.5, 0.0, 3.0, 1.5, 2.0];
+        let table = AliasTable::new(&weights);
+        let total: f64 = (0..weights.len()).map(|i| table.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        let wsum: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            assert!((table.probability(i) - w / wsum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn from_counts_applies_smoothing() {
+        let table = AliasTable::from_counts(&[0, 10], 1.0);
+        let freq = empirical(&table, 100_000, 3);
+        assert!((freq[0] - 1.0 / 12.0).abs() < 0.01);
+        assert!((freq[1] - 11.0 / 12.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn empty_weights_panic() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_panic() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn sparse_table_returns_labels() {
+        let table = SparseAliasTable::new(&[(7, 1.0), (100, 3.0)]);
+        let mut rng = new_rng(17);
+        let mut saw_7 = 0;
+        let mut saw_100 = 0;
+        for _ in 0..40_000 {
+            match table.sample(&mut rng) {
+                7 => saw_7 += 1,
+                100 => saw_100 += 1,
+                other => panic!("unexpected label {other}"),
+            }
+        }
+        let frac = saw_100 as f64 / (saw_7 + saw_100) as f64;
+        assert!((frac - 0.75).abs() < 0.02);
+        assert_eq!(table.len(), 2);
+        assert!((table.total_weight() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_table_builds_and_normalizes() {
+        let weights: Vec<f64> = (0..10_000).map(|i| (i % 97) as f64).collect();
+        let table = AliasTable::new(&weights);
+        assert_eq!(table.len(), 10_000);
+        let mut rng = new_rng(23);
+        for _ in 0..1000 {
+            assert!(table.sample(&mut rng) < 10_000);
+        }
+    }
+}

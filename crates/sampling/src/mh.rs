@@ -1,0 +1,168 @@
+//! Metropolis–Hastings helpers (Algorithm 1 of the paper).
+
+use rand::Rng;
+
+use crate::rng::Dice;
+
+/// Computes acceptance and applies it: returns `proposal` with probability
+/// `min(1, ratio)`, otherwise `current`.
+///
+/// `ratio` is the MH ratio `p(x̂) q(x|x̂) / (p(x) q(x̂|x))` already assembled by
+/// the caller (the LDA samplers assemble it from count vectors, Eq. 7).
+#[inline]
+pub fn accept<R: Rng>(rng: &mut R, current: u32, proposal: u32, ratio: f64) -> u32 {
+    if ratio >= 1.0 || rng.flip(ratio) {
+        proposal
+    } else {
+        current
+    }
+}
+
+/// A generic Metropolis–Hastings chain driver over discrete states
+/// (Algorithm 1): repeatedly draws proposals and accepts/rejects them.
+///
+/// The LDA samplers inline this logic for speed; the driver exists for tests
+/// (verifying that the proposal/acceptance pairs used by the samplers leave
+/// the target distribution invariant) and for documentation value.
+#[derive(Debug, Clone)]
+pub struct MhChain {
+    state: u32,
+    steps: u64,
+    accepted: u64,
+}
+
+impl MhChain {
+    /// Starts a chain at `initial`.
+    pub fn new(initial: u32) -> Self {
+        Self { state: initial, steps: 0, accepted: 0 }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Fraction of proposals accepted so far.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.steps as f64
+        }
+    }
+
+    /// Runs one MH step.
+    ///
+    /// * `propose` draws a candidate state (possibly depending on the current
+    ///   state).
+    /// * `target` is the unnormalized target density.
+    /// * `proposal_density` is the unnormalized proposal density
+    ///   `q(candidate | from)`.
+    pub fn step<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        propose: impl FnOnce(&mut R, u32) -> u32,
+        target: impl Fn(u32) -> f64,
+        proposal_density: impl Fn(u32, u32) -> f64,
+    ) {
+        let current = self.state;
+        let candidate = propose(rng, current);
+        let num = target(candidate) * proposal_density(current, candidate);
+        let den = target(current) * proposal_density(candidate, current);
+        let ratio = if den <= 0.0 { 1.0 } else { num / den };
+        self.steps += 1;
+        let next = accept(rng, current, candidate, ratio);
+        if next != current || candidate == current {
+            self.accepted += 1;
+        }
+        self.state = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::new_rng;
+
+    #[test]
+    fn accept_is_deterministic_for_ratio_ge_one() {
+        let mut rng = new_rng(3);
+        for _ in 0..100 {
+            assert_eq!(accept(&mut rng, 1, 2, 1.0), 2);
+            assert_eq!(accept(&mut rng, 1, 2, 10.0), 2);
+        }
+    }
+
+    #[test]
+    fn accept_rejects_zero_ratio() {
+        let mut rng = new_rng(4);
+        for _ in 0..100 {
+            assert_eq!(accept(&mut rng, 1, 2, 0.0), 1);
+        }
+    }
+
+    #[test]
+    fn accept_rate_matches_ratio() {
+        let mut rng = new_rng(5);
+        let n = 100_000;
+        let accepted = (0..n).filter(|_| accept(&mut rng, 0, 1, 0.4) == 1).count();
+        let rate = accepted as f64 / n as f64;
+        assert!((rate - 0.4).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn chain_converges_to_target_with_uniform_proposal() {
+        // Target: p(k) ∝ k+1 over {0,1,2,3}; proposal: uniform (symmetric).
+        let target = |k: u32| (k + 1) as f64;
+        let mut rng = new_rng(6);
+        let mut chain = MhChain::new(0);
+        let n = 200_000usize;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            chain.step(&mut rng, |r, _| r.gen_range(0..4u32), target, |_, _| 1.0);
+            counts[chain.state() as usize] += 1;
+        }
+        let total: f64 = (1..=4).map(|x| x as f64).sum();
+        for k in 0..4usize {
+            let f = counts[k] as f64 / n as f64;
+            let p = (k + 1) as f64 / total;
+            assert!((f - p).abs() < 0.02, "state {k}: {f} vs {p}");
+        }
+        assert!(chain.acceptance_rate() > 0.3);
+        assert_eq!(chain.steps(), n as u64);
+    }
+
+    #[test]
+    fn chain_with_asymmetric_proposal_still_targets_p() {
+        // Proposal q(k) ∝ 4-k (favours small states); target p(k) ∝ k+1.
+        // With the correct Hastings correction the stationary distribution must
+        // still be p.
+        let target = |k: u32| (k + 1) as f64;
+        let q = |candidate: u32, _from: u32| (4 - candidate) as f64;
+        let weights = [4.0, 3.0, 2.0, 1.0];
+        let mut rng = new_rng(8);
+        let mut chain = MhChain::new(3);
+        let n = 300_000usize;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            chain.step(
+                &mut rng,
+                |r, _| crate::discrete::sample_unnormalized(r, &weights) as u32,
+                target,
+                q,
+            );
+            counts[chain.state() as usize] += 1;
+        }
+        let total: f64 = (1..=4).map(|x| x as f64).sum();
+        for k in 0..4usize {
+            let f = counts[k] as f64 / n as f64;
+            let p = (k + 1) as f64 / total;
+            assert!((f - p).abs() < 0.02, "state {k}: {f} vs {p}");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Mixture-of-two-terms sampling (Section 2.2 of the paper).
+//!
+//! A distribution of the form `p(x=k) ∝ A_k + B_k` is sampled ancestrally:
+//! flip a coin with probability `Z_A / (Z_A + Z_B)` and then draw from the
+//! normalized `A` or `B` component. The WarpLDA/LightLDA proposal
+//! `q_doc(k) ∝ C_dk + α_k` is exactly this shape (sparse counts plus a dense
+//! smoothing term), as is AliasLDA's factorization.
+
+use rand::Rng;
+
+use crate::rng::Dice;
+
+/// A two-component mixture sampler: picks component A with probability
+/// `z_a / (z_a + z_b)`, then delegates to the caller-provided component
+/// samplers.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoTermMixture {
+    z_a: f64,
+    z_b: f64,
+}
+
+impl TwoTermMixture {
+    /// Creates a mixture from the two components' total (unnormalized) masses.
+    ///
+    /// # Panics
+    /// Panics if either mass is negative or both are zero.
+    pub fn new(z_a: f64, z_b: f64) -> Self {
+        assert!(z_a >= 0.0 && z_b >= 0.0, "component masses must be non-negative");
+        assert!(z_a + z_b > 0.0, "at least one component must have positive mass");
+        Self { z_a, z_b }
+    }
+
+    /// Probability of selecting component A.
+    pub fn prob_a(&self) -> f64 {
+        self.z_a / (self.z_a + self.z_b)
+    }
+
+    /// Draws from the mixture: calls `sample_a` or `sample_b` depending on the
+    /// component selected.
+    #[inline]
+    pub fn sample<R: Rng, T>(
+        &self,
+        rng: &mut R,
+        sample_a: impl FnOnce(&mut R) -> T,
+        sample_b: impl FnOnce(&mut R) -> T,
+    ) -> T {
+        if rng.flip(self.prob_a()) {
+            sample_a(rng)
+        } else {
+            sample_b(rng)
+        }
+    }
+
+    /// Convenience for the common LDA proposal shape
+    /// `q(k) ∝ counts[k] + smoothing` where `counts` are integer topic counts:
+    /// component A is the empirical count distribution (sampled by *random
+    /// positioning* — pick a random token of the document and reuse its
+    /// topic, see Section 4.3), component B is the uniform smoothing term.
+    ///
+    /// `total_count` must equal `counts.iter().sum()`; the caller supplies a
+    /// closure mapping a uniform index in `0..total_count` to a topic (for
+    /// random positioning this is "the topic of the i-th token").
+    pub fn count_plus_smoothing(total_count: u64, num_topics: usize, smoothing: f64) -> Self {
+        Self::new(total_count as f64, smoothing * num_topics as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::new_rng;
+
+    #[test]
+    fn mixing_probability_is_correct() {
+        let m = TwoTermMixture::new(3.0, 1.0);
+        assert!((m.prob_a() - 0.75).abs() < 1e-12);
+        let mut rng = new_rng(7);
+        let n = 100_000;
+        let a_count = (0..n).filter(|_| m.sample(&mut rng, |_| true, |_| false)).count();
+        let frac = a_count as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn pure_components_are_degenerate() {
+        let mut rng = new_rng(9);
+        let only_a = TwoTermMixture::new(2.0, 0.0);
+        let only_b = TwoTermMixture::new(0.0, 2.0);
+        for _ in 0..100 {
+            assert!(only_a.sample(&mut rng, |_| true, |_| false));
+            assert!(!only_b.sample(&mut rng, |_| true, |_| false));
+        }
+    }
+
+    #[test]
+    fn count_plus_smoothing_matches_paper_mixing_coefficient() {
+        // Section 4.3: the doc proposal mixes with coefficient L_d / (L_d + ᾱ).
+        let l_d = 20u64;
+        let k = 10usize;
+        let alpha = 0.5;
+        let m = TwoTermMixture::count_plus_smoothing(l_d, k, alpha);
+        let alpha_bar = alpha * k as f64;
+        assert!((m.prob_a() - l_d as f64 / (l_d as f64 + alpha_bar)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mass")]
+    fn both_zero_masses_panic() {
+        let _ = TwoTermMixture::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_mass_panics() {
+        let _ = TwoTermMixture::new(-1.0, 2.0);
+    }
+}

