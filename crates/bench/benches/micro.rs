@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use warplda::prelude::*;
 use warplda::lda::counts::{DenseCounts, HashCounts, TopicCounts};
+use warplda::prelude::*;
 use warplda::sampling::{new_rng, AliasTable, FTree};
 use warplda::sparse::{partition_by_size, DualLayoutMatrix, TokenMatrix};
 

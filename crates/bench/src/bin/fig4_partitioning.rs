@@ -47,12 +47,11 @@ fn main() {
             values.push(imbalance);
             rows.push(format!("{p},{label},{imbalance:.6}"));
         }
-        println!(
-            "{:>11} {:>14.6} {:>14.6} {:>14.6}",
-            p, values[0], values[1], values[2]
-        );
+        println!("{:>11} {:>14.6} {:>14.6} {:>14.6}", p, values[0], values[1], values[2]);
     }
     write_csv("fig4_partitioning.csv", "partitions,strategy,imbalance_index", &rows);
     println!("\nExpected shape (Figure 4): greedy ≪ static/dynamic for small-to-moderate P, with");
-    println!("the greedy curve rising sharply once P approaches the inverse of the top word's share.");
+    println!(
+        "the greedy curve rising sharply once P approaches the inverse of the top word's share."
+    );
 }

@@ -56,7 +56,11 @@ fn main() {
         "\nfinal likelihood spread across the ladder: {:.2}% of |best|",
         (best - worst).abs() / best.abs() * 100.0
     );
-    write_csv("fig7_ablation.csv", "sampler,iteration,seconds,log_likelihood", &traces_to_csv_rows(&traces));
+    write_csv(
+        "fig7_ablation.csv",
+        "sampler,iteration,seconds,log_likelihood",
+        &traces_to_csv_rows(&traces),
+    );
     println!("Expected shape (Figure 7): all five curves need roughly the same number of");
     println!("iterations — the MCEM simplifications of WarpLDA do not change solution quality.");
 }

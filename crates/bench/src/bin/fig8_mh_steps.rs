@@ -40,12 +40,19 @@ fn main() {
 
     println!("\nlog likelihood by time:");
     for t in &traces {
-        let line: Vec<String> =
-            t.points.iter().map(|p| format!("({:.2}s, {:.0})", p.seconds, p.log_likelihood)).collect();
+        let line: Vec<String> = t
+            .points
+            .iter()
+            .map(|p| format!("({:.2}s, {:.0})", p.seconds, p.log_likelihood))
+            .collect();
         println!("{:<8} {}", t.name, line.join(" "));
     }
 
-    write_csv("fig8_mh_steps.csv", "sampler,iteration,seconds,log_likelihood", &traces_to_csv_rows(&traces));
+    write_csv(
+        "fig8_mh_steps.csv",
+        "sampler,iteration,seconds,log_likelihood",
+        &traces_to_csv_rows(&traces),
+    );
     println!("\nExpected shape (Figure 8): per iteration, larger M converges faster; per unit of");
     println!("time, small M (1, 2 or 4) is sufficient — matching the paper's recommendation.");
 }

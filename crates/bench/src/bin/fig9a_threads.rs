@@ -75,8 +75,8 @@ fn main() {
             }
             loads
         };
-        let balance_speedup = threads as f64
-            / (1.0 + imbalance_index(&doc_loads).max(imbalance_index(&word_loads)));
+        let balance_speedup =
+            threads as f64 / (1.0 + imbalance_index(&doc_loads).max(imbalance_index(&word_loads)));
 
         println!(
             "{:>8} {:>16.2} {:>18.2} {:>24.2}",
@@ -87,11 +87,19 @@ fn main() {
         );
         rows.push(format!("{threads},{tps:.1},{:.3},{balance_speedup:.3}", tps / base));
     }
-    write_csv("fig9a_threads.csv", "threads,tokens_per_sec,measured_speedup,balance_limited_speedup", &rows);
-    println!("\nExpected shape (Figure 9a): close-to-linear speedup up to the physical core count.");
+    write_csv(
+        "fig9a_threads.csv",
+        "threads,tokens_per_sec,measured_speedup,balance_limited_speedup",
+        &rows,
+    );
+    println!(
+        "\nExpected shape (Figure 9a): close-to-linear speedup up to the physical core count."
+    );
     if cores == 1 {
         println!("NOTE: this host exposes a single core, so measured speedup cannot exceed 1; the");
-        println!("balance-limited column shows that the work decomposition itself scales (the paper");
+        println!(
+            "balance-limited column shows that the work decomposition itself scales (the paper"
+        );
         println!("measures 17x on 24 physical cores).");
     }
 }

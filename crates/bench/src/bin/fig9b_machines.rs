@@ -36,28 +36,29 @@ fn main() {
     for _ in 0..iterations {
         single.run_iteration();
     }
-    let single_tps = corpus.num_tokens() as f64 * 2.0 * iterations as f64 / t0.elapsed().as_secs_f64();
+    let single_tps =
+        corpus.num_tokens() as f64 * 2.0 * iterations as f64 / t0.elapsed().as_secs_f64();
     println!("measured single-machine throughput: {:.2} Mtoken/s\n", single_tps / 1e6);
 
     let doc_view = DocMajorView::build(&corpus);
     let word_view = WordMajorView::build(&corpus, &doc_view);
 
     let worker_counts = [1usize, 2, 4, 8, 16];
-    println!("{:>10} {:>14} {:>12} {:>12} {:>10}", "machines", "Mtoken/s", "compute ms", "comm ms", "speedup");
+    println!(
+        "{:>10} {:>14} {:>12} {:>12} {:>10}",
+        "machines", "Mtoken/s", "compute ms", "comm ms", "speedup"
+    );
     let mut rows = Vec::new();
     let mut baseline = None;
     for &p in &worker_counts {
         let grid =
             GridPartition::build(&corpus, &doc_view, &word_view, p, PartitionStrategy::Greedy);
         let cluster = ClusterConfig::tianhe2_like(p, config.mh_steps);
-        // Per-iteration compute: the slowest machine in each of the two phases.
-        let max_doc = *grid.doc_phase_loads().iter().max().unwrap_or(&0) as f64;
-        let max_word = *grid.word_phase_loads().iter().max().unwrap_or(&0) as f64;
-        let compute_sec = (max_doc + max_word) / single_tps;
-        let bytes = grid.tokens_exchanged_per_phase_switch() * cluster.bytes_per_token * 2;
-        let comm_sec = cluster.exchange_time_sec(bytes);
-        let wall = compute_sec.max(comm_sec) + comm_sec / p as f64;
-        let tps = corpus.num_tokens() as f64 * 2.0 / wall;
+        // The canonical cost model shared with `warplda::dist::runner`.
+        let point =
+            warplda::dist::runner::model_point(corpus.num_tokens(), single_tps, &grid, &cluster);
+        let (tps, compute_sec, comm_sec) =
+            (point.tokens_per_sec, point.compute_sec, point.comm_sec);
         let base = *baseline.get_or_insert(tps);
         println!(
             "{:>10} {:>14.2} {:>12.2} {:>12.3} {:>10.2}",
@@ -70,6 +71,10 @@ fn main() {
         rows.push(format!("{p},{tps:.1},{compute_sec:.6},{comm_sec:.6},{:.3}", tps / base));
     }
     write_csv("fig9b_machines.csv", "machines,tokens_per_sec,compute_sec,comm_sec,speedup", &rows);
-    println!("\nExpected shape (Figure 9b): close-to-linear speedup (the paper reports 13.5x at 16");
-    println!("machines); the gap to ideal comes from partition imbalance plus the all-to-all volume.");
+    println!(
+        "\nExpected shape (Figure 9b): close-to-linear speedup (the paper reports 13.5x at 16"
+    );
+    println!(
+        "machines); the gap to ideal comes from partition imbalance plus the all-to-all volume."
+    );
 }

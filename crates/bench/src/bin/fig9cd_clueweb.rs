@@ -39,7 +39,13 @@ fn main() {
         elapsed += r.wall_sec;
         let ll_text = r.log_likelihood.map_or("-".to_string(), |l| format!("{l:.1}"));
         if evaluate {
-            println!("{:>6} {:>14.2} {:>14.4} {:>18}", it, elapsed, r.tokens_per_sec / 1e9, ll_text);
+            println!(
+                "{:>6} {:>14.2} {:>14.4} {:>18}",
+                it,
+                elapsed,
+                r.tokens_per_sec / 1e9,
+                ll_text
+            );
         }
         rows.push(format!(
             "{it},{elapsed:.4},{:.1},{}",
@@ -70,6 +76,8 @@ fn main() {
          (paper measures 11 Gtoken/s at K = 10^6)",
         extrapolated / 1e9
     );
-    println!("\nExpected shape (Figure 9c/d): monotone likelihood improvement over the whole run and");
+    println!(
+        "\nExpected shape (Figure 9c/d): monotone likelihood improvement over the whole run and"
+    );
     println!("an approximately flat throughput curve across iterations.");
 }

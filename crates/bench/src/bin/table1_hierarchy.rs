@@ -14,10 +14,30 @@ fn main() {
             format!("{} KB", bytes / 1024)
         }
     };
-    println!("{:<14} {:>16} {:>16}", "L1D (per core)", cfg.l1.latency_cycles, fmt_size(cfg.l1.size_bytes));
-    println!("{:<14} {:>16} {:>16}", "L2 (per core)", cfg.l2.latency_cycles, fmt_size(cfg.l2.size_bytes));
-    println!("{:<14} {:>16} {:>16}", "L3 (shared)", cfg.l3.latency_cycles, fmt_size(cfg.l3.size_bytes));
-    println!("{:<14} {:>16} {:>16}", "Main memory", format!("{}+", cfg.memory_latency_cycles), "10GB+");
+    println!(
+        "{:<14} {:>16} {:>16}",
+        "L1D (per core)",
+        cfg.l1.latency_cycles,
+        fmt_size(cfg.l1.size_bytes)
+    );
+    println!(
+        "{:<14} {:>16} {:>16}",
+        "L2 (per core)",
+        cfg.l2.latency_cycles,
+        fmt_size(cfg.l2.size_bytes)
+    );
+    println!(
+        "{:<14} {:>16} {:>16}",
+        "L3 (shared)",
+        cfg.l3.latency_cycles,
+        fmt_size(cfg.l3.size_bytes)
+    );
+    println!(
+        "{:<14} {:>16} {:>16}",
+        "Main memory",
+        format!("{}+", cfg.memory_latency_cycles),
+        "10GB+"
+    );
     println!(
         "\nThe L3 is ~{}x faster than main memory — the gap WarpLDA exploits by keeping",
         cfg.memory_latency_cycles / cfg.l3.latency_cycles

@@ -33,7 +33,13 @@ fn main() {
     let l3 = 30u64 * 1024 * 1024;
     println!(
         "\n{:<11} {:<7} {:>12} {:>12} {:>22} {:>9} {:>9}",
-        "algorithm", "type", "seq/token", "rand/token", "random region (bytes)", "symbolic", "order"
+        "algorithm",
+        "type",
+        "seq/token",
+        "rand/token",
+        "random region (bytes)",
+        "symbolic",
+        "order"
     );
     for r in &rows {
         println!(
@@ -49,5 +55,7 @@ fn main() {
         );
     }
     println!("\nOnly WarpLDA's randomly accessed region (one O(K) vector) fits the L3 cache;");
-    println!("every other algorithm randomly touches an O(KV) or O(DK) matrix (Table 2 of the paper).");
+    println!(
+        "every other algorithm randomly touches an O(KV) or O(DK) matrix (Table 2 of the paper)."
+    );
 }

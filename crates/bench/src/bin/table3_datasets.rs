@@ -7,11 +7,10 @@ use warplda_bench::full_scale;
 
 fn main() {
     println!("Table 3: dataset statistics (paper originals vs scaled synthetic presets)\n");
-    println!(
-        "{:<24} {:>14} {:>16} {:>10} {:>8}   {}",
-        "dataset", "D", "T", "V", "T/D", "source"
-    );
-    for preset in [DatasetPreset::NyTimesLike, DatasetPreset::PubMedLike, DatasetPreset::ClueWebSubsetLike] {
+    println!("{:<24} {:>14} {:>16} {:>10} {:>8}   source", "dataset", "D", "T", "V", "T/D");
+    for preset in
+        [DatasetPreset::NyTimesLike, DatasetPreset::PubMedLike, DatasetPreset::ClueWebSubsetLike]
+    {
         if let Some((d, t, v, td)) = preset.paper_stats() {
             println!(
                 "{:<24} {:>14} {:>16} {:>10} {:>8.0}   paper (original)",
@@ -35,7 +34,13 @@ fn main() {
         );
         println!(
             "{:<24} {:>14} {:>16} {:>10} {:>8}   top word {:.3}% of tokens, max doc {} tokens",
-            "", "", "", "", "", s.top_word_fraction * 100.0, s.max_doc_len
+            "",
+            "",
+            "",
+            "",
+            "",
+            s.top_word_fraction * 100.0,
+            s.max_doc_len
         );
     }
     println!("\nThe presets preserve the mean document length T/D and the Zipfian skew of the");

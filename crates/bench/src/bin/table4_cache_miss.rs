@@ -10,7 +10,13 @@
 use warplda::prelude::*;
 use warplda_bench::{full_scale, write_csv};
 
-fn print_row(name: &str, k: usize, algo: &str, s: warplda::cachesim::HierarchyStats, rows: &mut Vec<String>) {
+fn print_row(
+    name: &str,
+    k: usize,
+    algo: &str,
+    s: warplda::cachesim::HierarchyStats,
+    rows: &mut Vec<String>,
+) {
     println!(
         "{:<12} {:>17.2}% {:>15.2}% {:>18.1} {:>14}",
         algo,
@@ -80,12 +86,18 @@ fn main() {
     let full = full_scale();
     let mut rows = Vec::new();
 
-    let nytimes =
-        if full { DatasetPreset::NyTimesLike.generate() } else { DatasetPreset::NyTimesLike.generate_scaled(6) };
+    let nytimes = if full {
+        DatasetPreset::NyTimesLike.generate()
+    } else {
+        DatasetPreset::NyTimesLike.generate_scaled(6)
+    };
     rows.extend(run_case("NYTimes-like", &nytimes, if full { 1000 } else { 500 }, 2));
 
-    let pubmed =
-        if full { DatasetPreset::PubMedLike.generate() } else { DatasetPreset::PubMedLike.generate_scaled(10) };
+    let pubmed = if full {
+        DatasetPreset::PubMedLike.generate()
+    } else {
+        DatasetPreset::PubMedLike.generate_scaled(10)
+    };
     rows.extend(run_case("PubMed-like", &pubmed, if full { 10_000 } else { 2000 }, 2));
 
     write_csv(
@@ -93,10 +105,20 @@ fn main() {
         "dataset,K,algorithm,memory_access_fraction,l3_miss_rate,mean_latency_cycles",
         &rows,
     );
-    println!("\nExpected shape (paper Table 4): WarpLDA's random accesses are the cheapest by far —");
-    println!("lowest main-memory fraction and lowest mean latency — because its working set is one");
-    println!("O(K) vector; LightLDA pays the most (random accesses over a KV matrix). At this scaled");
-    println!("corpus size WarpLDA's vectors even fit L1/L2, so almost no access reaches L3 at all,");
-    println!("which is why the raw \"L3 miss rate\" column (misses / L3 accesses) is not meaningful");
+    println!(
+        "\nExpected shape (paper Table 4): WarpLDA's random accesses are the cheapest by far —"
+    );
+    println!(
+        "lowest main-memory fraction and lowest mean latency — because its working set is one"
+    );
+    println!(
+        "O(K) vector; LightLDA pays the most (random accesses over a KV matrix). At this scaled"
+    );
+    println!(
+        "corpus size WarpLDA's vectors even fit L1/L2, so almost no access reaches L3 at all,"
+    );
+    println!(
+        "which is why the raw \"L3 miss rate\" column (misses / L3 accesses) is not meaningful"
+    );
     println!("for it — the memory-access fraction and mean latency carry the paper's comparison.");
 }

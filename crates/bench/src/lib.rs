@@ -103,15 +103,15 @@ pub fn run_trace(
         sampling_seconds += t0.elapsed().as_secs_f64();
         if it % eval_every.max(1) == 0 || it == iterations {
             let ll = sampler.log_likelihood(corpus, &doc_view, &word_view);
-            points.push(TracePoint { iteration: it, seconds: sampling_seconds, log_likelihood: ll });
+            points.push(TracePoint {
+                iteration: it,
+                seconds: sampling_seconds,
+                log_likelihood: ll,
+            });
         }
     }
     let tokens = corpus.num_tokens() as f64 * iterations as f64;
-    Trace {
-        name: name.to_owned(),
-        points,
-        tokens_per_sec: tokens / sampling_seconds.max(1e-12),
-    }
+    Trace { name: name.to_owned(), points, tokens_per_sec: tokens / sampling_seconds.max(1e-12) }
 }
 
 /// Prints a set of traces as aligned "LL vs iteration" and "LL vs time"
@@ -139,8 +139,11 @@ pub fn print_convergence_report(traces: &[Trace], reference_targets: &[f64]) {
 
     println!("\n== log likelihood by time (seconds) ==");
     for t in traces {
-        let line: Vec<String> =
-            t.points.iter().map(|p| format!("({:.2}s, {:.1})", p.seconds, p.log_likelihood)).collect();
+        let line: Vec<String> = t
+            .points
+            .iter()
+            .map(|p| format!("({:.2}s, {:.1})", p.seconds, p.log_likelihood))
+            .collect();
         println!("{:<22} {}", t.name, line.join(" "));
     }
 
@@ -182,7 +185,10 @@ pub fn traces_to_csv_rows(traces: &[Trace]) -> Vec<String> {
     let mut rows = Vec::new();
     for t in traces {
         for p in &t.points {
-            rows.push(format!("{},{},{:.4},{:.3}", t.name, p.iteration, p.seconds, p.log_likelihood));
+            rows.push(format!(
+                "{},{},{:.4},{:.3}",
+                t.name, p.iteration, p.seconds, p.log_likelihood
+            ));
         }
     }
     rows

@@ -40,7 +40,10 @@ impl SetAssociativeCache {
     /// # Panics
     /// Panics if any parameter is zero or the configuration yields zero sets.
     pub fn new(size_bytes: u64, line_size: u64, associativity: usize) -> Self {
-        assert!(size_bytes > 0 && line_size > 0 && associativity > 0, "cache parameters must be positive");
+        assert!(
+            size_bytes > 0 && line_size > 0 && associativity > 0,
+            "cache parameters must be positive"
+        );
         let num_lines = size_bytes / line_size;
         let num_sets = num_lines / associativity as u64;
         assert!(num_sets > 0, "cache too small for the requested associativity");
@@ -118,7 +121,13 @@ impl SetAssociativeCache {
         // Miss: fill an empty way, or evict the LRU way.
         self.misses += 1;
         let victim = (0..self.associativity)
-            .min_by_key(|&w| if self.tags[base + w] == u64::MAX { (0, 0) } else { (1, self.stamps[base + w]) })
+            .min_by_key(|&w| {
+                if self.tags[base + w] == u64::MAX {
+                    (0, 0)
+                } else {
+                    (1, self.stamps[base + w])
+                }
+            })
             .expect("associativity > 0");
         self.tags[base + victim] = tag;
         self.stamps[base + victim] = self.clock;

@@ -36,7 +36,12 @@ impl HierarchyConfig {
     /// main memory 180+ cycles. Line size 64 B throughout.
     pub fn ivy_bridge() -> Self {
         Self {
-            l1: CacheLevelConfig { size_bytes: 32 * 1024, line_size: 64, associativity: 8, latency_cycles: 5 },
+            l1: CacheLevelConfig {
+                size_bytes: 32 * 1024,
+                line_size: 64,
+                associativity: 8,
+                latency_cycles: 5,
+            },
             l2: CacheLevelConfig {
                 size_bytes: 256 * 1024,
                 line_size: 64,
@@ -56,9 +61,24 @@ impl HierarchyConfig {
     /// A deliberately small hierarchy for fast unit tests.
     pub fn tiny_for_tests() -> Self {
         Self {
-            l1: CacheLevelConfig { size_bytes: 1024, line_size: 64, associativity: 2, latency_cycles: 5 },
-            l2: CacheLevelConfig { size_bytes: 4 * 1024, line_size: 64, associativity: 4, latency_cycles: 12 },
-            l3: CacheLevelConfig { size_bytes: 16 * 1024, line_size: 64, associativity: 4, latency_cycles: 30 },
+            l1: CacheLevelConfig {
+                size_bytes: 1024,
+                line_size: 64,
+                associativity: 2,
+                latency_cycles: 5,
+            },
+            l2: CacheLevelConfig {
+                size_bytes: 4 * 1024,
+                line_size: 64,
+                associativity: 4,
+                latency_cycles: 12,
+            },
+            l3: CacheLevelConfig {
+                size_bytes: 16 * 1024,
+                line_size: 64,
+                associativity: 4,
+                latency_cycles: 30,
+            },
             memory_latency_cycles: 180,
         }
     }
@@ -129,8 +149,16 @@ pub struct MemoryHierarchy {
 impl MemoryHierarchy {
     /// Builds a hierarchy from a configuration.
     pub fn new(config: HierarchyConfig) -> Self {
-        let mk = |c: CacheLevelConfig| SetAssociativeCache::new(c.size_bytes, c.line_size, c.associativity);
-        Self { config, l1: mk(config.l1), l2: mk(config.l2), l3: mk(config.l3), stats: HierarchyStats::default() }
+        let mk = |c: CacheLevelConfig| {
+            SetAssociativeCache::new(c.size_bytes, c.line_size, c.associativity)
+        };
+        Self {
+            config,
+            l1: mk(config.l1),
+            l2: mk(config.l2),
+            l3: mk(config.l3),
+            stats: HierarchyStats::default(),
+        }
     }
 
     /// The Table 1 hierarchy.

@@ -119,7 +119,12 @@ pub struct CacheProbe {
 impl CacheProbe {
     /// Creates a probe backed by the given hierarchy configuration.
     pub fn new(config: HierarchyConfig) -> Self {
-        Self { table: RegionTable::default(), hierarchy: MemoryHierarchy::new(config), reads: 0, writes: 0 }
+        Self {
+            table: RegionTable::default(),
+            hierarchy: MemoryHierarchy::new(config),
+            reads: 0,
+            writes: 0,
+        }
     }
 
     /// Creates a probe with the Table 1 Ivy Bridge hierarchy.

@@ -55,14 +55,18 @@ pub fn mean_distinct_topics(
     word_view: &WordMajorView,
 ) -> (f64, f64) {
     let num_docs = doc_view.num_docs().max(1);
-    let kd: f64 = (0..num_docs).map(|d| state.doc_counts(d as u32).num_nonzero() as f64).sum::<f64>()
-        / num_docs as f64;
+    let kd: f64 =
+        (0..num_docs).map(|d| state.doc_counts(d as u32).num_nonzero() as f64).sum::<f64>()
+            / num_docs as f64;
     let words_with_tokens: Vec<usize> =
         (0..word_view.num_words()).filter(|&w| word_view.word_len(w as u32) > 0).collect();
     let kw: f64 = if words_with_tokens.is_empty() {
         0.0
     } else {
-        words_with_tokens.iter().map(|&w| state.word_counts(w as u32).num_nonzero() as f64).sum::<f64>()
+        words_with_tokens
+            .iter()
+            .map(|&w| state.word_counts(w as u32).num_nonzero() as f64)
+            .sum::<f64>()
             / words_with_tokens.len() as f64
     };
     (kd, kw)

@@ -60,7 +60,17 @@ impl AliasLda {
         let state = SamplerState::init_random(corpus, &doc_view, &word_view, params, &mut rng);
         let beta_bar = params.beta_bar(corpus.vocab_size());
         let tables = (0..corpus.vocab_size()).map(|_| None).collect();
-        Self { params, doc_view, word_view, state, rng, iterations: 0, beta_bar, tables, mh_steps: 2 }
+        Self {
+            params,
+            doc_view,
+            word_view,
+            state,
+            rng,
+            iterations: 0,
+            beta_bar,
+            tables,
+            mh_steps: 2,
+        }
     }
 
     /// The current state (counts + assignments).

@@ -68,7 +68,13 @@ impl HashCounts {
     pub fn with_expected(expected: usize, num_topics: usize) -> Self {
         let target = expected.saturating_mul(2).min(num_topics.saturating_mul(2)).max(4);
         let capacity = target.next_power_of_two();
-        Self { keys: vec![EMPTY; capacity], values: vec![0; capacity], mask: capacity - 1, len: 0, total: 0 }
+        Self {
+            keys: vec![EMPTY; capacity],
+            values: vec![0; capacity],
+            mask: capacity - 1,
+            len: 0,
+            total: 0,
+        }
     }
 
     /// Current slot capacity.
@@ -193,7 +199,12 @@ pub struct DenseCounts {
 impl DenseCounts {
     /// Creates a dense vector over `num_topics` topics.
     pub fn new(num_topics: usize) -> Self {
-        Self { values: vec![0; num_topics], touched: Vec::new(), listed: vec![false; num_topics], total: 0 }
+        Self {
+            values: vec![0; num_topics],
+            touched: Vec::new(),
+            listed: vec![false; num_topics],
+            total: 0,
+        }
     }
 
     /// The underlying dense slice.

@@ -27,8 +27,7 @@ pub fn log_joint_likelihood(
     params: &ModelParams,
     z: &[u32],
 ) -> f64 {
-    let state =
-        SamplerState::from_assignments(corpus, doc_view, word_view, *params, z.to_vec());
+    let state = SamplerState::from_assignments(corpus, doc_view, word_view, *params, z.to_vec());
     log_joint_likelihood_of_state(doc_view, word_view, &state)
 }
 
@@ -83,11 +82,7 @@ pub fn perplexity_per_token(log_likelihood: f64, num_tokens: u64) -> f64 {
 /// Returns, for each topic, the `top_n` highest-count words as
 /// `(word_id, count)` pairs — the standard qualitative inspection of a topic
 /// model.
-pub fn top_words(
-    state: &SamplerState,
-    vocab_size: usize,
-    top_n: usize,
-) -> Vec<Vec<(u32, u32)>> {
+pub fn top_words(state: &SamplerState, vocab_size: usize, top_n: usize) -> Vec<Vec<(u32, u32)>> {
     let k = state.params().num_topics;
     let mut per_topic: Vec<Vec<(u32, u32)>> = vec![Vec::new(); k];
     for w in 0..vocab_size {
@@ -139,23 +134,18 @@ mod tests {
 
     /// Brute-force likelihood straight from the formula, with dense loops over
     /// all (d, k) and (k, w) pairs — the ground truth for the sparse version.
-    fn brute_force_ll(
-        corpus: &Corpus,
-        dv: &DocMajorView,
-        params: &ModelParams,
-        z: &[u32],
-    ) -> f64 {
+    fn brute_force_ll(corpus: &Corpus, dv: &DocMajorView, params: &ModelParams, z: &[u32]) -> f64 {
         let k = params.num_topics;
         let v = corpus.vocab_size();
         let d_count = corpus.num_docs();
         let mut cdk = vec![vec![0u64; k]; d_count];
         let mut ckw = vec![vec![0u64; v]; k];
         let mut ck = vec![0u64; k];
-        for d in 0..d_count {
+        for (d, row) in cdk.iter_mut().enumerate() {
             for i in dv.doc_range(d as u32) {
                 let t = z[i] as usize;
                 let w = dv.word_of(i) as usize;
-                cdk[d][t] += 1;
+                row[t] += 1;
                 ckw[t][w] += 1;
                 ck[t] += 1;
             }
@@ -165,17 +155,17 @@ mod tests {
         let beta = params.beta;
         let beta_bar = params.beta_bar(v);
         let mut ll = 0.0;
-        for d in 0..d_count {
-            let len: u64 = cdk[d].iter().sum();
+        for row in &cdk {
+            let len: u64 = row.iter().sum();
             ll += ln_gamma(alpha_bar) - ln_gamma(alpha_bar + len as f64);
-            for t in 0..k {
-                ll += ln_gamma(alpha + cdk[d][t] as f64) - ln_gamma(alpha);
+            for &c in row {
+                ll += ln_gamma(alpha + c as f64) - ln_gamma(alpha);
             }
         }
-        for t in 0..k {
+        for (t, row) in ckw.iter().enumerate() {
             ll += ln_gamma(beta_bar) - ln_gamma(beta_bar + ck[t] as f64);
-            for w in 0..v {
-                ll += ln_gamma(beta + ckw[t][w] as f64) - ln_gamma(beta);
+            for &c in row {
+                ll += ln_gamma(beta + c as f64) - ln_gamma(beta);
             }
         }
         ll

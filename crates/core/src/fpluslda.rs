@@ -251,7 +251,8 @@ mod tests {
             fplus.run_iteration();
             cgs.run_iteration();
         }
-        let ll_f = log_joint_likelihood_of_state(fplus.doc_view(), fplus.word_view(), fplus.state());
+        let ll_f =
+            log_joint_likelihood_of_state(fplus.doc_view(), fplus.word_view(), fplus.state());
         let ll_cgs = log_joint_likelihood_of_state(cgs.doc_view(), cgs.word_view(), cgs.state());
         assert!(ll_f > ll0, "likelihood should improve: {ll0} -> {ll_f}");
         assert!(

@@ -110,7 +110,14 @@ pub struct LightLda<P: MemoryProbe = NoProbe> {
 impl LightLda<NoProbe> {
     /// Creates a plain LightLDA sampler with `mh_steps` MH steps per token.
     pub fn new(corpus: &Corpus, params: ModelParams, mh_steps: u32, seed: u64) -> Self {
-        Self::with_variant_and_probe(corpus, params, mh_steps, seed, LightLdaVariant::standard(), NoProbe)
+        Self::with_variant_and_probe(
+            corpus,
+            params,
+            mh_steps,
+            seed,
+            LightLdaVariant::standard(),
+            NoProbe,
+        )
     }
 
     /// Creates a sampler with one of the Figure 7 ablation variants.
@@ -278,12 +285,17 @@ impl<P: MemoryProbe> LightLda<P> {
     /// Takes the delayed-count snapshots at the start of an iteration.
     fn refresh_snapshots(&mut self) {
         if self.variant.delayed_doc_counts {
-            self.stale_doc =
-                Some((0..self.doc_view.num_docs()).map(|d| self.state.doc_counts(d as u32).clone()).collect());
+            self.stale_doc = Some(
+                (0..self.doc_view.num_docs())
+                    .map(|d| self.state.doc_counts(d as u32).clone())
+                    .collect(),
+            );
         }
         if self.variant.delayed_word_counts {
             self.stale_word = Some(
-                (0..self.word_view.num_words()).map(|w| self.state.word_counts(w as u32).clone()).collect(),
+                (0..self.word_view.num_words())
+                    .map(|w| self.state.word_counts(w as u32).clone())
+                    .collect(),
             );
         }
     }
@@ -316,7 +328,13 @@ impl<P: MemoryProbe> Sampler for LightLda<P> {
 
                 let mut z = old;
                 for step in 0..self.mh_steps {
-                    let use_doc_proposal = step % 2 == 0;
+                    // The doc/word proposal alternation is one global cycle that
+                    // continues across iterations; with an odd M (notably the
+                    // Figure 7 ladder's M = 1) consecutive iterations would
+                    // otherwise keep drawing the same proposal kind forever and
+                    // never mix over the other dimension.
+                    let use_doc_proposal =
+                        (self.iterations * self.mh_steps as u64 + step as u64).is_multiple_of(2);
                     let candidate = if use_doc_proposal {
                         self.draw_doc_proposal(d)
                     } else {
@@ -423,7 +441,8 @@ mod tests {
             light.run_iteration();
             cgs.run_iteration();
         }
-        let ll_l = log_joint_likelihood_of_state(light.doc_view(), light.word_view(), light.state());
+        let ll_l =
+            log_joint_likelihood_of_state(light.doc_view(), light.word_view(), light.state());
         let ll_c = log_joint_likelihood_of_state(cgs.doc_view(), cgs.word_view(), cgs.state());
         assert!(ll_l > ll0, "likelihood should improve: {ll0} -> {ll_l}");
         assert!(

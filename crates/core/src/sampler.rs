@@ -38,7 +38,13 @@ pub trait Sampler {
         doc_view: &DocMajorView,
         word_view: &WordMajorView,
     ) -> SamplerState {
-        SamplerState::from_assignments(corpus, doc_view, word_view, *self.params(), self.assignments())
+        SamplerState::from_assignments(
+            corpus,
+            doc_view,
+            word_view,
+            *self.params(),
+            self.assignments(),
+        )
     }
 
     /// Log joint likelihood of the current assignments.

@@ -65,11 +65,7 @@ impl SparseLda {
     fn smoothing_total(&self) -> f64 {
         let alpha = self.params.alpha;
         let beta = self.params.beta;
-        self.state
-            .topic_counts()
-            .iter()
-            .map(|&ck| alpha * beta / (ck as f64 + self.beta_bar))
-            .sum()
+        self.state.topic_counts().iter().map(|&ck| alpha * beta / (ck as f64 + self.beta_bar)).sum()
     }
 
     /// The document bucket total `R = Σ_k β·C_dk/(C_k + β̄)` for document `d`.
@@ -210,7 +206,8 @@ mod tests {
         let params = ModelParams::new(2, 0.5, 0.1);
         let mut sparse = SparseLda::new(&corpus, params, 5);
         let mut cgs = CollapsedGibbs::new(&corpus, params, 5);
-        let ll0 = log_joint_likelihood_of_state(sparse.doc_view(), sparse.word_view(), sparse.state());
+        let ll0 =
+            log_joint_likelihood_of_state(sparse.doc_view(), sparse.word_view(), sparse.state());
         for _ in 0..25 {
             sparse.run_iteration();
             cgs.run_iteration();

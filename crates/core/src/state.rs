@@ -62,11 +62,11 @@ impl SamplerState {
             .map(|w| HashCounts::with_expected(word_view.word_len(w as u32), k))
             .collect();
         let mut topic_counts = vec![0u32; k];
-        for d in 0..doc_view.num_docs() {
+        for (d, counts) in doc_counts.iter_mut().enumerate() {
             for i in doc_view.doc_range(d as u32) {
                 let topic = z[i];
                 let word = doc_view.word_of(i);
-                doc_counts[d].increment(topic);
+                counts.increment(topic);
                 word_counts[word as usize].increment(topic);
                 topic_counts[topic as usize] += 1;
             }

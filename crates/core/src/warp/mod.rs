@@ -124,7 +124,8 @@ impl<P: MemoryProbe> WarpLda<P> {
                 entries.push((d as u32, doc_view.word_of(i)));
             }
         }
-        let mut matrix: TokenMatrix<u32> = TokenMatrix::from_entries(num_docs, vocab_size, &entries);
+        let mut matrix: TokenMatrix<u32> =
+            TokenMatrix::from_entries(num_docs, vocab_size, &entries);
 
         // Map each doc-major token index to its entry id.
         let mut entry_of_token = vec![0u32; doc_view.num_tokens()];
@@ -218,7 +219,11 @@ impl<P: MemoryProbe> WarpLda<P> {
             }
             probe.begin_scope();
             // c_w on the fly.
-            let mut cw = if use_hash { CountVector::auto(len, k) } else { CountVector::Dense(crate::counts::DenseCounts::new(k)) };
+            let mut cw = if use_hash {
+                CountVector::auto(len, k)
+            } else {
+                CountVector::Dense(crate::counts::DenseCounts::new(k))
+            };
             for n in 0..len {
                 let t = *col.get(n);
                 cw.increment(t);
@@ -305,7 +310,11 @@ impl<P: MemoryProbe> WarpLda<P> {
             }
             probe.begin_scope();
             // c_d on the fly.
-            let mut cd = if use_hash { CountVector::auto(len, k) } else { CountVector::Dense(crate::counts::DenseCounts::new(k)) };
+            let mut cd = if use_hash {
+                CountVector::auto(len, k)
+            } else {
+                CountVector::Dense(crate::counts::DenseCounts::new(k))
+            };
             for n in 0..len {
                 let t = *row.get(n);
                 cd.increment(t);
@@ -549,16 +558,14 @@ mod tests {
         let corpus = themed_corpus();
         let params = ModelParams::new(1024, 0.5, 0.1);
         let probe = CacheProbe::new(HierarchyConfig::tiny_for_tests());
-        let mut s = WarpLda::with_probe(&corpus, params, WarpLdaConfig::with_mh_steps(2), 19, probe);
+        let mut s =
+            WarpLda::with_probe(&corpus, params, WarpLdaConfig::with_mh_steps(2), 19, probe);
         for _ in 0..3 {
             s.run_iteration();
         }
         let stats = s.probe().stats();
         assert!(stats.accesses > 0);
-        assert!(
-            stats.l3_miss_rate() < 0.3,
-            "WarpLDA working set should fit the cache: {stats:?}"
-        );
+        assert!(stats.l3_miss_rate() < 0.3, "WarpLDA working set should fit the cache: {stats:?}");
     }
 
     #[test]

@@ -103,12 +103,15 @@ impl ParallelWarpLda {
         }
 
         // Entry ranges corresponding to each worker's columns (contiguous).
-        let col_entry_start: Vec<usize> =
-            (0..=vocab_size).map(|w| if w == vocab_size {
-                self.inner.matrix.num_entries()
-            } else {
-                self.inner.matrix.col_entry_range(w as u32).start
-            }).collect();
+        let col_entry_start: Vec<usize> = (0..=vocab_size)
+            .map(|w| {
+                if w == vocab_size {
+                    self.inner.matrix.num_entries()
+                } else {
+                    self.inner.matrix.col_entry_range(w as u32).start
+                }
+            })
+            .collect();
 
         let topic_counts = self.inner.topic_counts.clone();
         let mut partial_next: Vec<Vec<u32>> = vec![vec![0u32; k]; num_threads];
@@ -141,10 +144,8 @@ impl ParallelWarpLda {
                     let ck = &topic_counts;
                     let col_entry_start = &col_entry_start;
                     scope.spawn(move |_| {
-                        let mut rng = new_rng(split_seed(
-                            base_seed,
-                            iteration * 2_000 + worker as u64,
-                        ));
+                        let mut rng =
+                            new_rng(split_seed(base_seed, iteration * 2_000 + worker as u64));
                         for w in col_start..col_end {
                             let lo = col_entry_start[w] - entry_start;
                             let hi = col_entry_start[w + 1] - entry_start;
@@ -436,6 +437,12 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_rejected() {
         let corpus = DatasetPreset::Tiny.generate_scaled(10);
-        let _ = ParallelWarpLda::new(&corpus, ModelParams::new(4, 0.5, 0.1), WarpLdaConfig::default(), 1, 0);
+        let _ = ParallelWarpLda::new(
+            &corpus,
+            ModelParams::new(4, 0.5, 0.1),
+            WarpLdaConfig::default(),
+            1,
+            0,
+        );
     }
 }

@@ -120,16 +120,12 @@ pub fn write_uci_bag_of_words<W: Write>(corpus: &Corpus, mut writer: W) -> Resul
 
 /// Normalizes raw text the way the paper pre-processes ClueWeb12: keep ASCII
 /// alphanumerics, lower-case, split on whitespace and drop stop words.
-pub fn tokenize_text<'a>(text: &'a str, stop_words: &[&str]) -> Vec<String> {
+pub fn tokenize_text(text: &str, stop_words: &[&str]) -> Vec<String> {
     let cleaned: String = text
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { ' ' })
         .collect();
-    cleaned
-        .split_whitespace()
-        .filter(|t| !stop_words.contains(t))
-        .map(str::to_owned)
-        .collect()
+    cleaned.split_whitespace().filter(|t| !stop_words.contains(t)).map(str::to_owned).collect()
 }
 
 /// A small default English stop-word list.
@@ -188,7 +184,10 @@ mod tests {
     #[test]
     fn uci_rejects_garbage_header() {
         let bad = "three\n2\n1\n";
-        assert!(matches!(read_uci_bag_of_words(bad.as_bytes(), None), Err(CorpusError::Parse { .. })));
+        assert!(matches!(
+            read_uci_bag_of_words(bad.as_bytes(), None),
+            Err(CorpusError::Parse { .. })
+        ));
     }
 
     #[test]
@@ -208,7 +207,8 @@ mod tests {
 
     #[test]
     fn tokenizer_strips_punctuation_and_stop_words() {
-        let toks = tokenize_text("The QUICK, brown fox; jumps over the lazy dog!", DEFAULT_STOP_WORDS);
+        let toks =
+            tokenize_text("The QUICK, brown fox; jumps over the lazy dog!", DEFAULT_STOP_WORDS);
         assert_eq!(toks, vec!["quick", "brown", "fox", "jumps", "over", "lazy", "dog"]);
     }
 

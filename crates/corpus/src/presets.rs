@@ -52,7 +52,9 @@ impl DatasetPreset {
         match self {
             DatasetPreset::NyTimesLike => Some((300_000, 100_000_000, 102_000, 332.0)),
             DatasetPreset::PubMedLike => Some((8_200_000, 738_000_000, 141_000, 90.0)),
-            DatasetPreset::ClueWebSubsetLike => Some((38_000_000, 14_000_000_000, 1_000_000, 367.0)),
+            DatasetPreset::ClueWebSubsetLike => {
+                Some((38_000_000, 14_000_000_000, 1_000_000, 367.0))
+            }
             DatasetPreset::Tiny => None,
         }
     }

@@ -208,9 +208,8 @@ impl ZipfGenerator {
     pub fn generate(&self) -> Corpus {
         let cfg = &self.config;
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let weights: Vec<f64> = (0..cfg.vocab_size)
-            .map(|i| 1.0 / ((i + 1) as f64).powf(cfg.zipf_exponent))
-            .collect();
+        let weights: Vec<f64> =
+            (0..cfg.vocab_size).map(|i| 1.0 / ((i + 1) as f64).powf(cfg.zipf_exponent)).collect();
         let cdf = Cdf::from_weights(&weights);
         let mut docs = Vec::with_capacity(cfg.num_docs);
         for _ in 0..cfg.num_docs {
@@ -262,10 +261,7 @@ mod tests {
         for &shape in &[0.5, 1.0, 2.5, 10.0] {
             let n = 20_000;
             let mean: f64 = (0..n).map(|_| sample_gamma(&mut rng, shape)).sum::<f64>() / n as f64;
-            assert!(
-                (mean - shape).abs() < 0.15 * shape.max(1.0),
-                "gamma({shape}) mean was {mean}"
-            );
+            assert!((mean - shape).abs() < 0.15 * shape.max(1.0), "gamma({shape}) mean was {mean}");
         }
     }
 
@@ -282,7 +278,12 @@ mod tests {
 
     #[test]
     fn lda_generator_is_deterministic() {
-        let cfg = SyntheticConfig { num_docs: 50, vocab_size: 200, mean_doc_len: 30, ..Default::default() };
+        let cfg = SyntheticConfig {
+            num_docs: 50,
+            vocab_size: 200,
+            mean_doc_len: 30,
+            ..Default::default()
+        };
         let a = LdaGenerator::new(cfg).generate();
         let b = LdaGenerator::new(cfg).generate();
         assert_eq!(a.num_tokens(), b.num_tokens());
@@ -291,7 +292,12 @@ mod tests {
 
     #[test]
     fn lda_generator_respects_config_shape() {
-        let cfg = SyntheticConfig { num_docs: 80, vocab_size: 300, mean_doc_len: 40, ..Default::default() };
+        let cfg = SyntheticConfig {
+            num_docs: 80,
+            vocab_size: 300,
+            mean_doc_len: 40,
+            ..Default::default()
+        };
         let c = LdaGenerator::new(cfg).generate();
         assert_eq!(c.num_docs(), 80);
         assert_eq!(c.vocab_size(), 300);
@@ -301,7 +307,11 @@ mod tests {
 
     #[test]
     fn planted_topics_are_distributions() {
-        let gen = LdaGenerator::new(SyntheticConfig { vocab_size: 100, num_topics: 5, ..Default::default() });
+        let gen = LdaGenerator::new(SyntheticConfig {
+            vocab_size: 100,
+            num_topics: 5,
+            ..Default::default()
+        });
         for phi in gen.planted_topics() {
             let s: f64 = phi.iter().sum();
             assert!((s - 1.0).abs() < 1e-9);

@@ -244,8 +244,8 @@ mod tests {
         let dv = DocMajorView::build(&c);
         let wv = WordMajorView::build(&c, &dv);
         let tf = c.term_frequencies();
-        for w in 0..c.vocab_size() {
-            assert_eq!(tf[w] as usize, wv.word_len(w as WordId));
+        for (w, &freq) in tf.iter().enumerate() {
+            assert_eq!(freq as usize, wv.word_len(w as WordId));
         }
     }
 

@@ -1,0 +1,119 @@
+//! The cluster network model (Section 6.5).
+//!
+//! The paper's distributed experiments run on Tianhe-2: 12-core Ivy Bridge
+//! nodes on a TH Express-2 fat tree. For the simulation only two properties of
+//! the network matter: how many bytes a phase switch must move (a function of
+//! the grid partition and the MH step count) and how long the all-to-all
+//! exchange of those bytes takes (a function of link bandwidth and latency).
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated cluster: worker count plus the parameters of the all-to-all
+/// exchange cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of machines `P`.
+    pub workers: usize,
+    /// Effective point-to-point bandwidth of one machine's link, bytes/sec.
+    pub link_bandwidth_bytes_per_sec: f64,
+    /// One-way message latency of the interconnect, seconds.
+    pub link_latency_sec: f64,
+    /// Bytes shipped per off-diagonal token at one phase switch:
+    /// `(M + 1) * 4` — the `u32` topic assignment plus `M` `u32` proposals.
+    pub bytes_per_token: u64,
+}
+
+impl ClusterConfig {
+    /// A Tianhe-2-like configuration: TH Express-2 class links (~6 GB/s
+    /// effective per node, microsecond-scale latency) and the WarpLDA message
+    /// format of `(mh_steps + 1) * 4` bytes per shipped token.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero or `mh_steps` is zero.
+    pub fn tianhe2_like(workers: usize, mh_steps: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        assert!(mh_steps >= 1, "need at least one MH proposal per token");
+        Self {
+            workers,
+            link_bandwidth_bytes_per_sec: 6.0e9,
+            link_latency_sec: 5.0e-6,
+            bytes_per_token: (mh_steps as u64 + 1) * 4,
+        }
+    }
+
+    /// Total bytes one iteration ships across the network:
+    /// `tokens_crossing_per_switch` off-diagonal tokens at `bytes_per_token`
+    /// each, exchanged at both phase switches (doc → word and word → doc).
+    ///
+    /// This is the single pricing formula shared by
+    /// [`DistributedWarpLda`](crate::DistributedWarpLda)'s per-iteration
+    /// reports and [`runner::model_point`](crate::runner::model_point).
+    pub fn bytes_per_iteration(&self, tokens_crossing_per_switch: u64) -> u64 {
+        tokens_crossing_per_switch * self.bytes_per_token * 2
+    }
+
+    /// Modeled wall time of an all-to-all exchange of `bytes` total bytes.
+    ///
+    /// The exchange runs as `P - 1` rounds of a ring all-to-all: every machine
+    /// pays the link latency per round, and the `bytes / P` bytes each machine
+    /// must ship flow through its own link concurrently with the others.
+    /// A single machine exchanges nothing and pays nothing.
+    pub fn exchange_time_sec(&self, bytes: u64) -> f64 {
+        if self.workers <= 1 {
+            return 0.0;
+        }
+        let rounds = (self.workers - 1) as f64;
+        let per_link_bytes = bytes as f64 / self.workers as f64;
+        self.link_latency_sec * rounds + per_link_bytes / self.link_bandwidth_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_size_is_assignment_plus_proposals() {
+        for m in 1..=16 {
+            let c = ClusterConfig::tianhe2_like(8, m);
+            assert_eq!(c.bytes_per_token, (m as u64 + 1) * 4);
+        }
+    }
+
+    #[test]
+    fn exchange_time_grows_with_volume_and_is_positive() {
+        let c = ClusterConfig::tianhe2_like(4, 2);
+        let small = c.exchange_time_sec(1_000);
+        let large = c.exchange_time_sec(1_000_000_000);
+        assert!(small > 0.0);
+        assert!(large > small);
+        // A gigabyte through 4 x 6 GB/s links takes on the order of 40 ms.
+        assert!((0.01..1.0).contains(&large), "modeled time {large}");
+    }
+
+    #[test]
+    fn single_machine_pays_no_communication() {
+        let c = ClusterConfig::tianhe2_like(1, 4);
+        assert_eq!(c.exchange_time_sec(0), 0.0);
+        assert_eq!(c.exchange_time_sec(1_000_000), 0.0);
+    }
+
+    #[test]
+    fn latency_dominates_empty_exchanges() {
+        let c = ClusterConfig::tianhe2_like(16, 1);
+        let t = c.exchange_time_sec(0);
+        assert!((t - 15.0 * c.link_latency_sec).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = ClusterConfig::tianhe2_like(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MH proposal")]
+    fn zero_mh_steps_rejected() {
+        let _ = ClusterConfig::tianhe2_like(2, 0);
+    }
+}

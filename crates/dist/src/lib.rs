@@ -1,0 +1,56 @@
+//! Simulated multi-machine runtime for WarpLDA (Sections 5.3.2 and 6.5 of the
+//! paper).
+//!
+//! The paper's headline numbers are distributed: near-linear speedup on up to
+//! 16 machines of a Tianhe-2-like cluster (Figure 9b), convergence on the
+//! ClueWeb12 subset (Figure 6) and the 256-machine capacity run (Figure 9c/d).
+//! Reproducing them bit-for-bit needs a cluster; reproducing their *structure*
+//! does not. This crate runs the real WarpLDA sampler sharded across `P`
+//! simulated machines on one host and layers the paper's distributed cost
+//! model on top:
+//!
+//! * [`GridPartition`] — the P×P grid over the document-major and word-major
+//!   views. Machine `i` owns document shard `i` during doc phases and word
+//!   shard `i` during word phases; a token whose document and word live on
+//!   different machines (an *off-diagonal* grid cell) must cross the network
+//!   at every phase switch.
+//! * [`ClusterConfig`] — the network model: worker count, per-link bandwidth
+//!   and latency, and the per-token message size of `(M + 1) * 4` bytes (the
+//!   `u32` topic assignment plus `M` `u32` proposals).
+//! * [`DistributedWarpLda`] — the driver. Each simulated machine maps onto one
+//!   worker of the shared-memory [`warplda_core::ParallelWarpLda`] sampler,
+//!   which already gives every worker a disjoint document/word shard and its
+//!   own deterministic RNG stream; the merged assignments are therefore
+//!   **bit-identical** to a `ParallelWarpLda` run with the same seed and
+//!   worker count (the simulation only adds accounting). Every iteration
+//!   returns an [`IterationReport`] with tokens sampled, bytes exchanged, and
+//!   modeled communication/wall times.
+//! * [`runner`] — the modeled scaling sweep behind the Figure 9b style
+//!   machine-count curves.
+//!
+//! ```
+//! use warplda_corpus::DatasetPreset;
+//! use warplda_core::{ModelParams, WarpLdaConfig};
+//! use warplda_dist::{ClusterConfig, DistributedWarpLda};
+//!
+//! let corpus = DatasetPreset::Tiny.generate_scaled(10);
+//! let config = WarpLdaConfig::with_mh_steps(2);
+//! let cluster = ClusterConfig::tianhe2_like(4, config.mh_steps);
+//! let mut driver =
+//!     DistributedWarpLda::new(&corpus, ModelParams::paper_defaults(8), config, cluster, 42);
+//! let report = driver.run_iteration(&corpus, true);
+//! assert_eq!(report.tokens_sampled, corpus.num_tokens() * 2);
+//! assert!(report.log_likelihood.unwrap().is_finite());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod driver;
+pub mod grid;
+pub mod runner;
+
+pub use cluster::ClusterConfig;
+pub use driver::{DistributedWarpLda, IterationReport};
+pub use grid::GridPartition;

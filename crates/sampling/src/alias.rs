@@ -196,7 +196,12 @@ mod tests {
         let freq = empirical(&table, 200_000, 7);
         let total: f64 = weights.iter().sum();
         for (i, &w) in weights.iter().enumerate() {
-            assert!((freq[i] - w / total).abs() < 0.01, "outcome {i}: {} vs {}", freq[i], w / total);
+            assert!(
+                (freq[i] - w / total).abs() < 0.01,
+                "outcome {i}: {} vs {}",
+                freq[i],
+                w / total
+            );
         }
     }
 

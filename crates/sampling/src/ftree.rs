@@ -104,7 +104,7 @@ impl FTree {
         while i < self.leaf_base {
             let left = self.tree[2 * i];
             if u < left {
-                i = 2 * i;
+                i *= 2;
             } else {
                 u -= left;
                 i = 2 * i + 1;

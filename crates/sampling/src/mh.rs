@@ -128,8 +128,8 @@ mod tests {
             counts[chain.state() as usize] += 1;
         }
         let total: f64 = (1..=4).map(|x| x as f64).sum();
-        for k in 0..4usize {
-            let f = counts[k] as f64 / n as f64;
+        for (k, &c) in counts.iter().enumerate() {
+            let f = c as f64 / n as f64;
             let p = (k + 1) as f64 / total;
             assert!((f - p).abs() < 0.02, "state {k}: {f} vs {p}");
         }
@@ -159,8 +159,8 @@ mod tests {
             counts[chain.state() as usize] += 1;
         }
         let total: f64 = (1..=4).map(|x| x as f64).sum();
-        for k in 0..4usize {
-            let f = counts[k] as f64 / n as f64;
+        for (k, &c) in counts.iter().enumerate() {
+            let f = c as f64 / n as f64;
             let p = (k + 1) as f64 / total;
             assert!((f - p).abs() < 0.02, "state {k}: {f} vs {p}");
         }

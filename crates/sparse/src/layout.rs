@@ -192,7 +192,7 @@ mod tests {
             }
         });
         // Column pass must see a permutation of the stamped values.
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         m.visit_by_column(|_, _, data| {
             for &v in data.iter() {
                 assert!(!seen[v as usize]);
@@ -202,7 +202,7 @@ mod tests {
         assert!(seen.iter().all(|&s| s));
         assert_eq!(m.transposes(), 1);
         // Another row pass: still a permutation (second transpose happened).
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         m.visit_by_row(|_, _, data| {
             for &v in data.iter() {
                 assert!(!seen[v as usize]);
@@ -226,7 +226,8 @@ mod tests {
 
     #[test]
     fn writes_round_trip_row_col_row() {
-        let mut m: DualLayoutMatrix<u32> = DualLayoutMatrix::from_entries(2, 2, &[(0, 0), (1, 1), (0, 1)]);
+        let mut m: DualLayoutMatrix<u32> =
+            DualLayoutMatrix::from_entries(2, 2, &[(0, 0), (1, 1), (0, 1)]);
         m.visit_by_row(|d, cols, data| {
             for (i, v) in data.iter_mut().enumerate() {
                 *v = d * 100 + cols[i];

@@ -31,4 +31,4 @@ pub mod partition;
 pub use layout::DualLayoutMatrix;
 pub use matrix::{ColumnEntriesMut, RowEntriesMut, TokenMatrix};
 pub use parallel::{parallel_visit_by_column, parallel_visit_by_row};
-pub use partition::{imbalance_index, partition_by_size, PartitionStrategy};
+pub use partition::{imbalance_index, partition_by_size, partition_loads, PartitionStrategy};

@@ -84,14 +84,12 @@ impl<T: Default + Clone> TokenMatrix<T> {
         let mut row_ptr = vec![0u32; nnz];
         let mut row_cols = vec![0u32; nnz];
         let mut col_cursor = col_offsets.clone();
-        let mut row_slot = 0usize;
-        for &(r, c) in &by_row {
+        for (row_slot, &(r, c)) in by_row.iter().enumerate() {
             let pos = col_cursor[c as usize];
             col_cursor[c as usize] += 1;
             entry_rows[pos as usize] = r;
             row_ptr[row_slot] = pos;
             row_cols[row_slot] = c;
-            row_slot += 1;
         }
 
         Self {
@@ -380,7 +378,7 @@ mod tests {
             }
         });
         // …and verify row visits observe a permutation of exactly those values.
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         m.visit_by_row(|_, row| {
             for i in 0..row.len() {
                 let v = *row.get(i) as usize;

@@ -88,7 +88,8 @@ where
         return;
     }
 
-    let row_sizes: Vec<u64> = (0..matrix.num_rows()).map(|d| matrix.row_len(d as u32) as u64).collect();
+    let row_sizes: Vec<u64> =
+        (0..matrix.num_rows()).map(|d| matrix.row_len(d as u32) as u64).collect();
     let assignment = partition_by_size(&row_sizes, num_threads, PartitionStrategy::Greedy);
     let parts = matrix.raw_parts_mut();
     let data_ptr = SendPtr(parts.data.as_mut_ptr());
@@ -101,7 +102,6 @@ where
         for worker in 0..num_threads {
             let assignment = &assignment;
             let op = &op;
-            let data_ptr = data_ptr;
             scope.spawn(move |_| {
                 // Capture the whole wrapper (edition-2021 closures would otherwise
                 // capture only the raw-pointer field, which is not `Send`).
@@ -197,7 +197,8 @@ where
     F: Fn(u32, ParColumnEntries<'_, T>) + Sync,
 {
     let num_threads = num_threads.max(1);
-    let col_sizes: Vec<u64> = (0..matrix.num_cols()).map(|w| matrix.col_len(w as u32) as u64).collect();
+    let col_sizes: Vec<u64> =
+        (0..matrix.num_cols()).map(|w| matrix.col_len(w as u32) as u64).collect();
     let assignment = partition_by_size(&col_sizes, num_threads, PartitionStrategy::Dynamic);
     let parts = matrix.raw_parts_mut();
     let col_offsets = parts.col_offsets;
@@ -272,7 +273,7 @@ unsafe impl<T> Sync for SendPtr<T> {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
+    use std::sync::Mutex;
 
     fn random_entries(rows: usize, cols: usize, n: usize, seed: u64) -> Vec<(u32, u32)> {
         use rand::{Rng, SeedableRng};
@@ -346,9 +347,9 @@ mod tests {
         let mut m: TokenMatrix<u8> = TokenMatrix::from_entries(100, 10, &entries);
         let visits = Mutex::new(vec![0u32; 100]);
         parallel_visit_by_row(&mut m, 6, |d, _| {
-            visits.lock()[d as usize] += 1;
+            visits.lock().unwrap()[d as usize] += 1;
         });
-        assert!(visits.lock().iter().all(|&v| v == 1));
+        assert!(visits.lock().unwrap().iter().all(|&v| v == 1));
     }
 
     #[test]

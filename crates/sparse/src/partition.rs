@@ -83,11 +83,8 @@ pub fn partition_by_size(
             order.sort_unstable_by(|&a, &b| sizes[b].cmp(&sizes[a]).then(a.cmp(&b)));
             let mut loads = vec![0u64; num_partitions];
             for &item in &order {
-                let (best, _) = loads
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|&(_, &l)| l)
-                    .expect("num_partitions > 0");
+                let (best, _) =
+                    loads.iter().enumerate().min_by_key(|&(_, &l)| l).expect("num_partitions > 0");
                 assignment[item] = best as u32;
                 loads[best] += sizes[item];
             }

@@ -52,10 +52,12 @@ pub use warplda_sparse as sparse;
 /// The most commonly used items, re-exported flat for `use warplda::prelude::*`.
 pub mod prelude {
     pub use warplda_cachesim::{CacheProbe, CountingProbe, HierarchyConfig, MemoryProbe, NoProbe};
-    pub use warplda_core::eval::{format_topics, log_joint_likelihood, perplexity_per_token, top_words};
+    pub use warplda_core::eval::{
+        format_topics, log_joint_likelihood, perplexity_per_token, top_words,
+    };
     pub use warplda_core::{
-        AliasLda, CollapsedGibbs, FPlusLda, LightLda, LightLdaVariant, ModelParams, ParallelWarpLda,
-        Sampler, SamplerState, SparseLda, WarpLda, WarpLdaConfig,
+        AliasLda, CollapsedGibbs, FPlusLda, LightLda, LightLdaVariant, ModelParams,
+        ParallelWarpLda, Sampler, SamplerState, SparseLda, WarpLda, WarpLdaConfig,
     };
     pub use warplda_corpus::{
         Corpus, CorpusBuilder, CorpusStats, DatasetPreset, DocMajorView, Document, LdaGenerator,

@@ -38,7 +38,11 @@ fn main() {
 
     println!(
         "{:<16} {:>14} {:>14} {:>14} {:>12}",
-        "sampler", "LL@1", "LL@10", &format!("LL@{iterations}"), "ms/iter"
+        "sampler",
+        "LL@1",
+        "LL@10",
+        &format!("LL@{iterations}"),
+        "ms/iter"
     );
     for (name, sampler) in &mut samplers {
         let mut ll_at = Vec::new();

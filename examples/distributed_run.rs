@@ -28,7 +28,10 @@ fn main() {
         grid.total_tokens(),
     );
 
-    println!("\n{:<6} {:>16} {:>14} {:>12} {:>12}", "iter", "log-likelihood", "Mtokens/s", "compute ms", "comm ms");
+    println!(
+        "\n{:<6} {:>16} {:>14} {:>12} {:>12}",
+        "iter", "log-likelihood", "Mtokens/s", "compute ms", "comm ms"
+    );
     for it in 1..=10 {
         let r = driver.run_iteration(&corpus, it % 2 == 0);
         println!(

@@ -37,8 +37,13 @@ fn grid_partition_is_balanced_and_complete() {
     let doc_view = DocMajorView::build(&corpus);
     let word_view = WordMajorView::build(&corpus, &doc_view);
     for workers in [2usize, 4, 8] {
-        let grid =
-            GridPartition::build(&corpus, &doc_view, &word_view, workers, PartitionStrategy::Greedy);
+        let grid = GridPartition::build(
+            &corpus,
+            &doc_view,
+            &word_view,
+            workers,
+            PartitionStrategy::Greedy,
+        );
         assert_eq!(grid.total_tokens(), corpus.num_tokens());
         assert!(
             grid.doc_phase_imbalance() < 0.1,
@@ -62,7 +67,8 @@ fn communication_volume_matches_grid_bound() {
     let mut dist = DistributedWarpLda::new(&corpus, params, config, cluster, 3);
     let report = dist.run_iteration(&corpus, false);
     // (M + 1) * 4 bytes per off-diagonal token, two exchanges per iteration.
-    let expected = dist.grid().tokens_exchanged_per_phase_switch() * (config.mh_steps as u64 + 1) * 4 * 2;
+    let expected =
+        dist.grid().tokens_exchanged_per_phase_switch() * (config.mh_steps as u64 + 1) * 4 * 2;
     assert_eq!(report.bytes_exchanged, expected);
     assert!(report.comm_sec > 0.0);
     assert!(report.tokens_per_sec > 0.0);

@@ -55,7 +55,8 @@ fn corpus_stats_and_model_state_survive_retraining_from_assignments() {
     let word_view = WordMajorView::build(&corpus, &doc_view);
     let exported = sampler.assignments();
 
-    let restored = SamplerState::from_assignments(&corpus, &doc_view, &word_view, params, exported.clone());
+    let restored =
+        SamplerState::from_assignments(&corpus, &doc_view, &word_view, params, exported.clone());
     restored.assert_consistent(&doc_view, &word_view);
     assert_eq!(restored.assignments(), &exported[..]);
 

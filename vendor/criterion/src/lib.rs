@@ -1,0 +1,267 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the API subset used by `crates/bench/benches/micro.rs`: benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`, per-group and
+//! global `sample_size`, the builder knobs `warm_up_time` / `measurement_time`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark is timed for
+//! `sample_size` batches inside the configured measurement window and the
+//! mean/min batch time per iteration is printed. That is enough to compare
+//! the workspace's data-structure and sampler variants against each other on
+//! one machine, which is all the micro suite is for.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up window run before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window shared by the samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup { criterion: self, name, sample_size: None }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (warm, measure, samples) = (self.warm_up_time, self.measurement_time, self.sample_size);
+        run_one(&id.to_string(), warm, measure, samples, &mut f);
+        self
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing is already done per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterized benchmark: function name + parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self { function: function.into(), parameter: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the hot loop.
+pub struct Bencher {
+    batch_iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `inner`, running it enough times to fill the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut inner: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch_iters {
+            black_box(inner());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    f: &mut F,
+) {
+    // Warm-up: run single batches until the warm-up window has passed, and use
+    // the observed speed to size the measurement batches.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut b = Bencher { batch_iters: 1, elapsed: Duration::ZERO };
+    while warm_start.elapsed() < warm_up || warm_iters == 0 {
+        f(&mut b);
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+    let budget = measurement.as_secs_f64() / samples as f64;
+    let batch_iters = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let mut bencher = Bencher { batch_iters, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        total += bencher.elapsed;
+        best = best.min(bencher.elapsed);
+    }
+    let iters = batch_iters as f64;
+    println!(
+        "bench {label:<50} mean {:>12.1} ns/iter   min {:>12.1} ns/iter   ({samples} samples x {batch_iters} iters)",
+        total.as_nanos() as f64 / samples as f64 / iters,
+        best.as_nanos() as f64 / iters,
+    );
+}
+
+/// Declares a group of benchmark functions, optionally with a custom
+/// configuration, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3)
+    }
+
+    #[test]
+    fn groups_and_inputs_run_their_closures() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        c.bench_function("top-level", |b| b.iter(|| black_box("s".len())));
+    }
+
+    criterion_group! {
+        name = macro_benches;
+        config = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+            .sample_size(2);
+        targets = target_a
+    }
+
+    fn target_a(c: &mut Criterion) {
+        c.bench_function("macro-target", |b| b.iter(|| black_box(3 * 3)));
+    }
+
+    #[test]
+    fn macro_declared_group_runs() {
+        macro_benches();
+    }
+}

@@ -1,0 +1,113 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses crossbeam's scoped threads
+//! (`crossbeam::thread::scope` + `Scope::spawn`), which std has provided
+//! natively since Rust 1.63. This shim adapts `std::thread::scope` to the
+//! crossbeam 0.8 calling convention the samplers were written against:
+//!
+//! * `scope` returns a `Result` (the callers `.expect(...)` it);
+//! * spawned closures receive a `&Scope` argument so nested spawns are
+//!   possible.
+//!
+//! One behavioral difference: when a spawned thread panics, std's scope
+//! re-raises the panic at the end of the scope instead of returning `Err`.
+//! Every call site in this workspace treats a worker panic as fatal, so the
+//! difference is unobservable apart from the panic message.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod thread {
+    //! Scoped threads with the crossbeam 0.8 API shape.
+
+    use std::any::Any;
+
+    /// Error half of the [`scope`] result; kept for signature compatibility.
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A handle for spawning scoped threads; a shallow wrapper over
+    /// [`std::thread::Scope`].
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives the
+        /// scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+        }
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish and returns its result.
+        pub fn join(self) -> Result<T, ScopeError> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope in which threads borrowing local data can be spawned;
+    /// all spawned threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_mutate_disjoint_slices() {
+        let mut data = vec![0u32; 8];
+        let (left, right) = data.split_at_mut(4);
+        thread::scope(|scope| {
+            scope.spawn(move |_| left.iter_mut().for_each(|v| *v += 1));
+            scope.spawn(move |_| right.iter_mut().for_each(|v| *v += 2));
+        })
+        .expect("workers panicked");
+        assert_eq!(data, [1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn join_returns_thread_result() {
+        let out = thread::scope(|scope| {
+            let h = scope.spawn(|_| 21 * 2);
+            h.join().expect("thread panicked")
+        })
+        .expect("scope failed");
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .expect("workers panicked");
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

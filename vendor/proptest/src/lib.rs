@@ -1,0 +1,206 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x surface this workspace's
+//! property tests use: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!`, range and tuple strategies, `prop::collection::vec` and
+//! `prop::bool::ANY`.
+//!
+//! Differences from the real crate, acceptable for this workspace's use:
+//!
+//! * cases are generated from a deterministic per-test seed (derived from the
+//!   test's module path and name), so failures reproduce exactly on re-run;
+//! * failing inputs are reported but **not shrunk**;
+//! * `prop_assume!` rejections simply retry with the next case, with a global
+//!   retry cap so a test that rejects everything still terminates.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop` namespace (`prop::collection::vec`, `prop::bool::ANY`, ...).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. See the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ($cfg:expr;
+     $( #[test] fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config = $cfg;
+                let mut accepted: u32 = 0;
+                let mut attempt: u64 = 0;
+                let max_attempts = config.cases as u64 * 16;
+                while accepted < config.cases {
+                    attempt += 1;
+                    assert!(
+                        attempt <= max_attempts,
+                        "too many prop_assume! rejections ({} accepted of {} wanted after {} attempts)",
+                        accepted, config.cases, max_attempts,
+                    );
+                    let mut __rng = $crate::strategy::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        attempt,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property test {} failed on case #{}: {}",
+                                stringify!($name), attempt, msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+        );
+    }};
+}
+
+/// Discards the current case (retried with fresh inputs) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(pairs in prop::collection::vec((0u32..9, prop::bool::ANY), 0..40)) {
+            prop_assert!(pairs.len() < 40);
+            for (n, _flag) in pairs {
+                prop_assert!(n < 9);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_header_is_honored(seed in 0u64..1000) {
+            prop_assert!(seed < 1000);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn assume_retries_instead_of_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn prop_assert_produces_fail_and_assume_produces_reject() {
+        let failing: Result<(), TestCaseError> = (|| {
+            prop_assert!(1 == 2, "one is not {}", 2);
+            Ok(())
+        })();
+        match failing {
+            Err(TestCaseError::Fail(msg)) => assert_eq!(msg, "one is not 2"),
+            other => panic!("expected Fail, got {other:?}"),
+        }
+
+        let rejected: Result<(), TestCaseError> = (|| {
+            prop_assume!(false);
+            Ok(())
+        })();
+        assert!(matches!(rejected, Err(TestCaseError::Reject(_))));
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace annotates its data structures with serde derives so a future
+//! PR can enable real (de)serialization without touching every struct, but
+//! this build environment cannot reach a package registry. This crate provides
+//! the two names the annotations need — `Serialize` and `Deserialize` — as
+//! marker traits in the type namespace and as no-op derive macros in the macro
+//! namespace (mirroring how the real crate re-exports `serde_derive`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace's structs carry serde derives so that a future PR can turn on
+//! real serialization, but the offline build environment has no crates.io
+//! access. These derives accept the same syntax (including `#[serde(...)]`
+//! attributes) and expand to nothing, so annotated types compile unchanged.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
