@@ -9,7 +9,7 @@
 
 use warplda::prelude::*;
 use warplda_bench::{
-    default_targets, full_scale, print_convergence_report, run_trace, traces_to_csv_rows, write_csv,
+    default_targets, full_scale, logs_to_csv_rows, print_convergence_report, run_trace, write_csv,
 };
 
 fn run_setting(name: &str, corpus: &Corpus, k: usize, iterations: usize, eval_every: usize) {
@@ -30,7 +30,7 @@ fn run_setting(name: &str, corpus: &Corpus, k: usize, iterations: usize, eval_ev
     write_csv(
         &format!("fig5_{}_k{}.csv", name.to_lowercase().replace([' ', '-'], "_"), k),
         "sampler,iteration,seconds,log_likelihood",
-        &traces_to_csv_rows(&traces),
+        &logs_to_csv_rows(&traces),
     );
 }
 

@@ -5,10 +5,8 @@
 //! Expected shape: WarpLDA reaches any given likelihood roughly an order of
 //! magnitude sooner than LightLDA.
 
-use std::time::Instant;
-
 use warplda::prelude::*;
-use warplda_bench::{full_scale, write_csv};
+use warplda_bench::{full_scale, logs_to_csv_rows, run_trace, write_csv};
 
 fn main() {
     let full = full_scale();
@@ -24,40 +22,36 @@ fn main() {
     println!("corpus: {}", corpus.stats().table_row("ClueWeb12-subset-like"));
     println!("K = {k}, {workers} simulated machines\n");
 
-    let doc_view = DocMajorView::build(&corpus);
-    let word_view = WordMajorView::build(&corpus, &doc_view);
-    let mut rows = Vec::new();
-
-    // Distributed WarpLDA, M = 4.
+    // Distributed WarpLDA, M = 4: driven by the distributed runtime, reported
+    // through the same IterationLog pipeline as every other run.
     let config = WarpLdaConfig::with_mh_steps(4);
     let cluster = ClusterConfig::tianhe2_like(workers, config.mh_steps);
     let mut warp = DistributedWarpLda::new(&corpus, params, config, cluster, 3);
-    println!("{:<22} {:>8} {:>12} {:>18}", "sampler", "iter", "time (s)", "log likelihood");
-    let mut warp_time = 0.0;
-    for it in 1..=iterations {
-        let r = warp.run_iteration(&corpus, it % 5 == 0 || it == iterations);
-        warp_time += r.wall_sec;
-        if let Some(ll) = r.log_likelihood {
-            println!("{:<22} {:>8} {:>12.2} {:>18.1}", "WarpLDA (M=4, dist)", it, warp_time, ll);
-            rows.push(format!("WarpLDA,{it},{warp_time:.4},{ll:.3}"));
-        }
-    }
+    warp.run(&corpus, iterations, 5);
+    let warp_log = warp.iteration_log("WarpLDA (M=4, dist)");
 
     // LightLDA baseline, M = 16, single machine (measured time).
     let mut light = LightLda::new(&corpus, params, 16, 3);
-    let mut light_time = 0.0;
-    for it in 1..=iterations {
-        let t0 = Instant::now();
-        light.run_iteration();
-        light_time += t0.elapsed().as_secs_f64();
-        if it % 5 == 0 || it == iterations {
-            let ll = light.log_likelihood(&corpus, &doc_view, &word_view);
-            println!("{:<22} {:>8} {:>12.2} {:>18.1}", "LightLDA (M=16)", it, light_time, ll);
-            rows.push(format!("LightLDA,{it},{light_time:.4},{ll:.3}"));
+    let light_log = run_trace("LightLDA (M=16)", &mut light, &corpus, iterations, 5);
+
+    println!("{:<22} {:>8} {:>12} {:>18}", "sampler", "iter", "time (s)", "log likelihood");
+    for log in [&warp_log, &light_log] {
+        for p in log.eval_points() {
+            println!(
+                "{:<22} {:>8} {:>12.2} {:>18.1}",
+                log.name(),
+                p.iteration,
+                p.seconds,
+                p.log_likelihood.unwrap()
+            );
         }
     }
 
-    write_csv("fig6_distributed.csv", "sampler,iteration,seconds,log_likelihood", &rows);
+    write_csv(
+        "fig6_distributed.csv",
+        "sampler,iteration,seconds,log_likelihood",
+        &logs_to_csv_rows(&[warp_log, light_log]),
+    );
     println!("\nExpected shape (Figure 6): WarpLDA reaches the same likelihood roughly 10x sooner");
     println!("in wall-clock time than LightLDA.");
 }

@@ -7,7 +7,7 @@
 //! per-iteration convergence (Section 6.3).
 
 use warplda::prelude::*;
-use warplda_bench::{full_scale, run_trace, traces_to_csv_rows, write_csv};
+use warplda_bench::{full_scale, logs_to_csv_rows, run_trace, write_csv};
 
 fn main() {
     let full = full_scale();
@@ -35,21 +35,22 @@ fn main() {
     let mut warp = WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(1), 5);
     traces.push(run_trace("WarpLDA", &mut warp, &corpus, iterations, 5));
 
-    println!("{:>6}", "iter");
-    print!("{:>6}", "");
+    let columns: Vec<Vec<&IterationRecord>> =
+        traces.iter().map(|t| t.eval_points().collect()).collect();
+    print!("{:>6}", "iter");
     for t in &traces {
-        print!(" {:>20}", t.name);
+        print!(" {:>20}", t.name());
     }
     println!();
-    for (i, p) in traces[0].points.iter().enumerate() {
+    for (i, p) in columns[0].iter().enumerate() {
         print!("{:>6}", p.iteration);
-        for t in &traces {
-            print!(" {:>20.1}", t.points[i].log_likelihood);
+        for points in &columns {
+            print!(" {:>20.1}", points[i].log_likelihood.unwrap());
         }
         println!();
     }
 
-    let finals: Vec<f64> = traces.iter().map(|t| t.final_ll()).collect();
+    let finals: Vec<f64> = traces.iter().map(IterationLog::final_ll).collect();
     let best = finals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let worst = finals.iter().cloned().fold(f64::INFINITY, f64::min);
     println!(
@@ -59,7 +60,7 @@ fn main() {
     write_csv(
         "fig7_ablation.csv",
         "sampler,iteration,seconds,log_likelihood",
-        &traces_to_csv_rows(&traces),
+        &logs_to_csv_rows(&traces),
     );
     println!("Expected shape (Figure 7): all five curves need roughly the same number of");
     println!("iterations — the MCEM simplifications of WarpLDA do not change solution quality.");

@@ -6,7 +6,7 @@
 //! proportionally cheaper.
 
 use warplda::prelude::*;
-use warplda_bench::{full_scale, run_trace, traces_to_csv_rows, write_csv};
+use warplda_bench::{full_scale, logs_to_csv_rows, run_trace, write_csv};
 
 fn main() {
     let full = full_scale();
@@ -31,27 +31,26 @@ fn main() {
     for t in &traces {
         println!(
             "{:<8} {:>16.1} {:>16.2} {:>14.2}",
-            t.name,
+            t.name(),
             t.final_ll(),
-            t.points.last().map_or(0.0, |p| p.seconds),
-            t.tokens_per_sec / 1e6
+            t.total_seconds(),
+            t.mean_tokens_per_sec() / 1e6
         );
     }
 
     println!("\nlog likelihood by time:");
     for t in &traces {
         let line: Vec<String> = t
-            .points
-            .iter()
-            .map(|p| format!("({:.2}s, {:.0})", p.seconds, p.log_likelihood))
+            .eval_points()
+            .map(|p| format!("({:.2}s, {:.0})", p.seconds, p.log_likelihood.unwrap()))
             .collect();
-        println!("{:<8} {}", t.name, line.join(" "));
+        println!("{:<8} {}", t.name(), line.join(" "));
     }
 
     write_csv(
         "fig8_mh_steps.csv",
         "sampler,iteration,seconds,log_likelihood",
-        &traces_to_csv_rows(&traces),
+        &logs_to_csv_rows(&traces),
     );
     println!("\nExpected shape (Figure 8): per iteration, larger M converges faster; per unit of");
     println!("time, small M (1, 2 or 4) is sufficient — matching the paper's recommendation.");

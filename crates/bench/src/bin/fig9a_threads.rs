@@ -7,8 +7,6 @@
 //! column saturates at the core count; the balance-limited column shows what
 //! the partitioning itself would allow on a wider machine.
 
-use std::time::Instant;
-
 use warplda::prelude::*;
 use warplda::sparse::{imbalance_index, partition_by_size};
 use warplda_bench::{full_scale, write_csv};
@@ -28,8 +26,8 @@ fn main() {
     println!("corpus: {}", corpus.stats().table_row("NYTimes-like"));
     println!("K = {k}, M = {}, host has {cores} core(s)\n", config.mh_steps);
 
-    let doc_view = DocMajorView::build(&corpus);
-    let word_view = WordMajorView::build(&corpus, &doc_view);
+    let trainer = Trainer::new(&corpus);
+    let (doc_view, word_view) = (trainer.doc_view(), trainer.word_view());
     let doc_sizes: Vec<u64> =
         (0..corpus.num_docs()).map(|d| doc_view.doc_len(d as u32) as u64).collect();
     let word_sizes: Vec<u64> =
@@ -48,13 +46,8 @@ fn main() {
     let mut baseline = None;
     for &threads in &thread_counts {
         let mut sampler = ParallelWarpLda::new(&corpus, params, config, 3, threads);
-        sampler.run_iteration(); // warm-up
-        let t0 = Instant::now();
-        for _ in 0..iterations {
-            sampler.run_iteration();
-        }
-        let seconds = t0.elapsed().as_secs_f64();
-        let tps = corpus.num_tokens() as f64 * iterations as f64 / seconds;
+        // Warm-up one iteration, then measure through the unified pipeline.
+        let tps = trainer.measure_throughput(&mut sampler, iterations, 1, corpus.num_tokens());
         let base = *baseline.get_or_insert(tps);
 
         // Balance-limited speedup: how much the greedy/dynamic row and column

@@ -10,8 +10,6 @@
 //! model. Expected shape: near-linear scaling (the paper reports 13.5x on 16
 //! machines), bending where communication and residual imbalance bite.
 
-use std::time::Instant;
-
 use warplda::prelude::*;
 use warplda_bench::{full_scale, write_csv};
 
@@ -29,19 +27,16 @@ fn main() {
     println!("corpus: {}", corpus.stats().table_row("PubMed-like"));
     println!("K = {k}, M = 1\n");
 
-    // Measure single-machine throughput (tokens sampled per second of compute).
+    // Measure single-machine throughput (tokens sampled per second of
+    // compute; WarpLDA visits every token twice per iteration) through the
+    // unified pipeline, with one warm-up iteration.
+    let trainer = Trainer::new(&corpus);
     let mut single = WarpLda::new(&corpus, params, config, 5);
-    single.run_iteration(); // warm-up
-    let t0 = Instant::now();
-    for _ in 0..iterations {
-        single.run_iteration();
-    }
     let single_tps =
-        corpus.num_tokens() as f64 * 2.0 * iterations as f64 / t0.elapsed().as_secs_f64();
+        trainer.measure_throughput(&mut single, iterations, 1, corpus.num_tokens() * 2);
     println!("measured single-machine throughput: {:.2} Mtoken/s\n", single_tps / 1e6);
 
-    let doc_view = DocMajorView::build(&corpus);
-    let word_view = WordMajorView::build(&corpus, &doc_view);
+    let (doc_view, word_view) = (trainer.doc_view(), trainer.word_view());
 
     let worker_counts = [1usize, 2, 4, 8, 16];
     println!(
@@ -51,8 +46,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut baseline = None;
     for &p in &worker_counts {
-        let grid =
-            GridPartition::build(&corpus, &doc_view, &word_view, p, PartitionStrategy::Greedy);
+        let grid = GridPartition::build(&corpus, doc_view, word_view, p, PartitionStrategy::Greedy);
         let cluster = ClusterConfig::tianhe2_like(p, config.mh_steps);
         // The canonical cost model shared with `warplda::dist::runner`.
         let point =

@@ -30,29 +30,34 @@ fn main() {
     println!("K = {k}, M = 1, beta = 0.001, {workers} simulated machines\n");
 
     let mut driver = DistributedWarpLda::new(&corpus, params, config, cluster, 7);
+    // Evaluate on a 5-iteration cadence plus the very first iteration, so
+    // the convergence curve has its starting point.
+    driver.run_where(&corpus, iterations, |it| it == 1 || it % 5 == 0 || it == iterations);
+    let log = driver.iteration_log("WarpLDA (dist)");
+
     println!("{:>6} {:>14} {:>14} {:>18}", "iter", "time (s)", "Gtoken/s", "log likelihood");
-    let mut rows = Vec::new();
-    let mut elapsed = 0.0;
-    for it in 1..=iterations {
-        let evaluate = it % 5 == 0 || it == iterations || it == 1;
-        let r = driver.run_iteration(&corpus, evaluate);
-        elapsed += r.wall_sec;
-        let ll_text = r.log_likelihood.map_or("-".to_string(), |l| format!("{l:.1}"));
-        if evaluate {
-            println!(
-                "{:>6} {:>14.2} {:>14.4} {:>18}",
-                it,
-                elapsed,
-                r.tokens_per_sec / 1e9,
-                ll_text
-            );
-        }
-        rows.push(format!(
-            "{it},{elapsed:.4},{:.1},{}",
-            r.tokens_per_sec,
-            r.log_likelihood.map_or(String::new(), |l| format!("{l:.3}"))
-        ));
+    for p in log.eval_points() {
+        println!(
+            "{:>6} {:>14.2} {:>14.4} {:>18.1}",
+            p.iteration,
+            p.seconds,
+            p.tokens_per_sec / 1e9,
+            p.log_likelihood.unwrap()
+        );
     }
+    let rows: Vec<String> = log
+        .records()
+        .iter()
+        .map(|p| {
+            format!(
+                "{},{:.4},{:.1},{}",
+                p.iteration,
+                p.seconds,
+                p.tokens_per_sec,
+                p.log_likelihood.map_or(String::new(), |l| format!("{l:.3}"))
+            )
+        })
+        .collect();
     write_csv("fig9cd_clueweb.csv", "iteration,seconds,tokens_per_sec,log_likelihood", &rows);
 
     // Throughput context: the simulated machines share this host's physical

@@ -19,17 +19,15 @@ fn main() {
 
     // Burn in a few WarpLDA iterations so K_d / K_w reflect a partially
     // converged model rather than the random initialization.
+    let trainer = Trainer::new(&corpus);
     let mut sampler = WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(1), 7);
-    for _ in 0..5 {
-        sampler.run_iteration();
-    }
-    let doc_view = DocMajorView::build(&corpus);
-    let word_view = WordMajorView::build(&corpus, &doc_view);
-    let state = sampler.snapshot_state(&corpus, &doc_view, &word_view);
-    let (kd, kw) = mean_distinct_topics(&state, &doc_view, &word_view);
+    trainer.train(&TrainerConfig::sampling_only(5), "burn-in", &mut sampler);
+    let (doc_view, word_view) = (trainer.doc_view(), trainer.word_view());
+    let state = sampler.snapshot_state(&corpus, doc_view, word_view);
+    let (kd, kw) = mean_distinct_topics(&state, doc_view, word_view);
     println!("measured sparsity after 5 iterations: K_d = {kd:.1}, K_w = {kw:.1}");
 
-    let rows = table2_profiles(&corpus, &doc_view, &word_view, &state, 1);
+    let rows = table2_profiles(&corpus, doc_view, word_view, &state, 1);
     let l3 = 30u64 * 1024 * 1024;
     println!(
         "\n{:<11} {:<7} {:>12} {:>12} {:>22} {:>9} {:>9}",

@@ -36,6 +36,8 @@ fn print_row(
 fn run_case(name: &str, corpus: &Corpus, k: usize, iterations: usize) -> Vec<String> {
     let params = ModelParams::paper_defaults(k);
     let hierarchy = HierarchyConfig::ivy_bridge();
+    let trainer = Trainer::new(corpus);
+    let sampling = TrainerConfig::sampling_only(iterations);
     let mut rows = Vec::new();
 
     println!("\n-- {name}, K = {k} --");
@@ -53,16 +55,12 @@ fn run_case(name: &str, corpus: &Corpus, k: usize, iterations: usize) -> Vec<Str
         LightLdaVariant::standard(),
         CacheProbe::new(hierarchy),
     );
-    for _ in 0..iterations {
-        light.run_iteration();
-    }
+    trainer.train(&sampling, "LightLDA", &mut light);
     print_row(name, k, "LightLDA", light.probe().stats(), &mut rows);
 
     // F+LDA.
     let mut fplus = FPlusLda::with_probe(corpus, params, 7, CacheProbe::new(hierarchy));
-    for _ in 0..iterations {
-        fplus.run_iteration();
-    }
+    trainer.train(&sampling, "F+LDA", &mut fplus);
     print_row(name, k, "F+LDA", fplus.probe().stats(), &mut rows);
 
     // WarpLDA (M = 1).
@@ -73,9 +71,7 @@ fn run_case(name: &str, corpus: &Corpus, k: usize, iterations: usize) -> Vec<Str
         7,
         CacheProbe::new(hierarchy),
     );
-    for _ in 0..iterations {
-        warp.run_iteration();
-    }
+    trainer.train(&sampling, "WarpLDA", &mut warp);
     print_row(name, k, "WarpLDA", warp.probe().stats(), &mut rows);
 
     rows

@@ -10,6 +10,11 @@
 //! topics, more iterations); the default is a quick configuration that
 //! finishes in seconds to a couple of minutes so `EXPERIMENTS.md` can be
 //! regenerated end-to-end on a laptop.
+//!
+//! Training loops are never hand-rolled here: every run goes through the
+//! workspace's unified [`Trainer`] pipeline (overlapped evaluation included)
+//! and produces the shared [`IterationLog`] report format this module's
+//! printing and CSV helpers consume.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -17,7 +22,6 @@
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::time::Instant;
 
 use warplda::prelude::*;
 
@@ -45,91 +49,40 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     println!("[csv] wrote {}", path.display());
 }
 
-/// One sampled point of a convergence trace.
-#[derive(Debug, Clone, Copy)]
-pub struct TracePoint {
-    /// Iteration number (1-based).
-    pub iteration: usize,
-    /// Wall-clock seconds spent in `run_iteration` so far (excludes evaluation).
-    pub seconds: f64,
-    /// Log joint likelihood after this iteration.
-    pub log_likelihood: f64,
-}
-
-/// A named convergence trace.
-#[derive(Debug, Clone)]
-pub struct Trace {
-    /// Display name of the sampler.
-    pub name: String,
-    /// The sampled points.
-    pub points: Vec<TracePoint>,
-    /// Mean sampling throughput over the run, tokens/second.
-    pub tokens_per_sec: f64,
-}
-
-impl Trace {
-    /// The final log likelihood of the trace.
-    pub fn final_ll(&self) -> f64 {
-        self.points.last().map_or(f64::NEG_INFINITY, |p| p.log_likelihood)
-    }
-
-    /// First iteration whose likelihood reaches `target`, if any.
-    pub fn iterations_to_reach(&self, target: f64) -> Option<usize> {
-        self.points.iter().find(|p| p.log_likelihood >= target).map(|p| p.iteration)
-    }
-
-    /// Wall-clock seconds needed to reach `target`, if ever reached.
-    pub fn seconds_to_reach(&self, target: f64) -> Option<f64> {
-        self.points.iter().find(|p| p.log_likelihood >= target).map(|p| p.seconds)
-    }
-}
-
-/// Runs `iterations` iterations of a sampler, evaluating the likelihood every
-/// `eval_every` iterations, and returns the trace.
+/// Runs `iterations` iterations of a sampler through the unified [`Trainer`]
+/// pipeline, evaluating the likelihood every `eval_every` iterations (and on
+/// the final iteration), and returns the log. Evaluation overlaps sampling on
+/// a background worker.
 pub fn run_trace(
     name: &str,
     sampler: &mut dyn Sampler,
     corpus: &Corpus,
     iterations: usize,
     eval_every: usize,
-) -> Trace {
-    let doc_view = DocMajorView::build(corpus);
-    let word_view = WordMajorView::build(corpus, &doc_view);
-    let mut points = Vec::new();
-    let mut sampling_seconds = 0.0;
-    for it in 1..=iterations {
-        let t0 = Instant::now();
-        sampler.run_iteration();
-        sampling_seconds += t0.elapsed().as_secs_f64();
-        if it % eval_every.max(1) == 0 || it == iterations {
-            let ll = sampler.log_likelihood(corpus, &doc_view, &word_view);
-            points.push(TracePoint {
-                iteration: it,
-                seconds: sampling_seconds,
-                log_likelihood: ll,
-            });
-        }
-    }
-    let tokens = corpus.num_tokens() as f64 * iterations as f64;
-    Trace { name: name.to_owned(), points, tokens_per_sec: tokens / sampling_seconds.max(1e-12) }
+) -> IterationLog {
+    let trainer = Trainer::new(corpus);
+    let config = TrainerConfig::new(iterations).eval_every(eval_every.max(1));
+    trainer.train(&config, name, sampler)
 }
 
-/// Prints a set of traces as aligned "LL vs iteration" and "LL vs time"
-/// tables, plus the speed-up ratios against the first (reference) trace — the
+/// Prints a set of logs as aligned "LL vs iteration" and "LL vs time"
+/// tables, plus the speed-up ratios against the first (reference) log — the
 /// four panels of each Figure 5 row.
-pub fn print_convergence_report(traces: &[Trace], reference_targets: &[f64]) {
+pub fn print_convergence_report(logs: &[IterationLog], reference_targets: &[f64]) {
     println!("\n== log likelihood by iteration ==");
     print!("{:>6}", "iter");
-    for t in traces {
-        print!(" {:>22}", t.name);
+    for t in logs {
+        print!(" {:>22}", t.name());
     }
     println!();
-    let reference = &traces[0];
-    for (i, p) in reference.points.iter().enumerate() {
+    let reference: Vec<&IterationRecord> = logs[0].eval_points().collect();
+    let others: Vec<Vec<&IterationRecord>> =
+        logs.iter().map(|t| t.eval_points().collect()).collect();
+    for (i, p) in reference.iter().enumerate() {
         print!("{:>6}", p.iteration);
-        for t in traces {
-            if let Some(q) = t.points.get(i) {
-                print!(" {:>22.1}", q.log_likelihood);
+        for points in &others {
+            if let Some(q) = points.get(i) {
+                print!(" {:>22.1}", q.log_likelihood.unwrap());
             } else {
                 print!(" {:>22}", "-");
             }
@@ -138,33 +91,32 @@ pub fn print_convergence_report(traces: &[Trace], reference_targets: &[f64]) {
     }
 
     println!("\n== log likelihood by time (seconds) ==");
-    for t in traces {
+    for t in logs {
         let line: Vec<String> = t
-            .points
-            .iter()
-            .map(|p| format!("({:.2}s, {:.1})", p.seconds, p.log_likelihood))
+            .eval_points()
+            .map(|p| format!("({:.2}s, {:.1})", p.seconds, p.log_likelihood.unwrap()))
             .collect();
-        println!("{:<22} {}", t.name, line.join(" "));
+        println!("{:<22} {}", t.name(), line.join(" "));
     }
 
     println!("\n== throughput ==");
-    for t in traces {
-        println!("{:<22} {:>10.2} Mtoken/s", t.name, t.tokens_per_sec / 1e6);
+    for t in logs {
+        println!("{:<22} {:>10.2} Mtoken/s", t.name(), t.mean_tokens_per_sec() / 1e6);
     }
 
     if !reference_targets.is_empty() {
-        println!("\n== speed-up of {} over the others to reach a target LL ==", traces[0].name);
+        println!("\n== speed-up of {} over the others to reach a target LL ==", logs[0].name());
         print!("{:>16}", "target LL");
-        for t in traces.iter().skip(1) {
-            print!(" {:>18} (iter)", t.name);
-            print!(" {:>18} (time)", t.name);
+        for t in logs.iter().skip(1) {
+            print!(" {:>18} (iter)", t.name());
+            print!(" {:>18} (time)", t.name());
         }
         println!();
         for &target in reference_targets {
             print!("{:>16.1}", target);
-            let ref_iter = traces[0].iterations_to_reach(target);
-            let ref_time = traces[0].seconds_to_reach(target);
-            for t in traces.iter().skip(1) {
+            let ref_iter = logs[0].iterations_to_reach(target);
+            let ref_time = logs[0].seconds_to_reach(target);
+            for t in logs.iter().skip(1) {
                 let iter_ratio = match (ref_iter, t.iterations_to_reach(target)) {
                     (Some(a), Some(b)) => format!("{:.2}x", b as f64 / a as f64),
                     _ => "-".to_string(),
@@ -180,30 +132,21 @@ pub fn print_convergence_report(traces: &[Trace], reference_targets: &[f64]) {
     }
 }
 
-/// Converts traces to CSV rows: `sampler,iteration,seconds,log_likelihood`.
-pub fn traces_to_csv_rows(traces: &[Trace]) -> Vec<String> {
-    let mut rows = Vec::new();
-    for t in traces {
-        for p in &t.points {
-            rows.push(format!(
-                "{},{},{:.4},{:.3}",
-                t.name, p.iteration, p.seconds, p.log_likelihood
-            ));
-        }
-    }
-    rows
+/// Converts logs to CSV rows: `sampler,iteration,seconds,log_likelihood`.
+pub fn logs_to_csv_rows(logs: &[IterationLog]) -> Vec<String> {
+    logs.iter().flat_map(IterationLog::csv_rows).collect()
 }
 
 /// Likelihood targets for the speed-up panels: fractions of the way from the
-/// first evaluated likelihood to the *lowest* final likelihood across traces,
+/// first evaluated likelihood to the *lowest* final likelihood across logs,
 /// so that every sampler reaches every target (the paper picks its targets the
 /// same way — likelihood levels all runs attain).
-pub fn default_targets(traces: &[Trace]) -> Vec<f64> {
-    let start = traces
+pub fn default_targets(logs: &[IterationLog]) -> Vec<f64> {
+    let start = logs
         .iter()
-        .filter_map(|t| t.points.first().map(|p| p.log_likelihood))
+        .filter_map(|t| t.eval_points().next().and_then(|p| p.log_likelihood))
         .fold(f64::INFINITY, f64::min);
-    let attained = traces.iter().map(Trace::final_ll).fold(f64::INFINITY, f64::min);
+    let attained = logs.iter().map(IterationLog::final_ll).fold(f64::INFINITY, f64::min);
     [0.5, 0.8, 0.95].iter().map(|f| start + (attained - start) * f).collect()
 }
 
@@ -216,15 +159,16 @@ mod tests {
         let corpus = DatasetPreset::Tiny.generate_scaled(10);
         let params = ModelParams::paper_defaults(6);
         let mut s = WarpLda::new(&corpus, params, WarpLdaConfig::default(), 1);
-        let trace = run_trace("WarpLDA", &mut s, &corpus, 6, 2);
-        assert_eq!(trace.points.len(), 3);
-        assert!(trace.tokens_per_sec > 0.0);
-        assert!(trace.final_ll().is_finite());
-        let targets = default_targets(std::slice::from_ref(&trace));
+        let log = run_trace("WarpLDA", &mut s, &corpus, 6, 2);
+        assert_eq!(log.records().len(), 6);
+        assert_eq!(log.eval_points().count(), 3);
+        assert!(log.mean_tokens_per_sec() > 0.0);
+        assert!(log.final_ll().is_finite());
+        let targets = default_targets(std::slice::from_ref(&log));
         assert_eq!(targets.len(), 3);
-        assert!(trace.iterations_to_reach(f64::NEG_INFINITY).is_some());
-        assert!(trace.iterations_to_reach(0.0).is_none());
-        let rows = traces_to_csv_rows(std::slice::from_ref(&trace));
+        assert!(log.iterations_to_reach(f64::NEG_INFINITY).is_some());
+        assert!(log.iterations_to_reach(0.0).is_none());
+        let rows = logs_to_csv_rows(std::slice::from_ref(&log));
         assert_eq!(rows.len(), 3);
     }
 }

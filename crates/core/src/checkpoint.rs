@@ -1,0 +1,366 @@
+//! Real binary checkpoint persistence for trained models.
+//!
+//! Until this module existed, "serialization" in the workspace meant the
+//! vendored no-op `serde` derives: a checkpoint could be *typed* but not
+//! *saved*. This module makes persistence real, built on the framed codec of
+//! [`warplda_corpus::io::codec`] (magic number, format version, FNV-1a
+//! checksum), and defines what it means for a sampler to be resumable:
+//!
+//! * [`Checkpointable`] — a [`Sampler`] that can write its complete
+//!   resumable state (assignments, counts, RNG stream, iteration counter)
+//!   into an [`Encoder`] and restore it from a [`Decoder`]. For WarpLDA
+//!   (serial and parallel) restoration is **bit-identical**: a run that is
+//!   saved, loaded into a freshly constructed sampler and continued produces
+//!   exactly the same assignments as an uninterrupted run.
+//! * [`save_checkpoint`] / [`load_checkpoint`] — one-file persistence of a
+//!   sampler plus (optionally) the corpus [`Vocabulary`], so a checkpoint can
+//!   be inspected (top words per topic) without the original corpus files.
+//! * [`write_state_snapshot`] / [`read_state_snapshot`] — persistence of a
+//!   bare [`SamplerState`] (a *model*, independent of which sampler produced
+//!   it), the exchange format for downstream consumers.
+//!
+//! A checkpoint can only be loaded into a sampler constructed over the same
+//! corpus with the same hyper-parameters and configuration; every mismatch
+//! the payload can reveal (topic count, token count, MH steps, …) is rejected
+//! with [`CodecError::Corrupt`] rather than silently producing a broken
+//! model.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use rand::rngs::SmallRng;
+
+use warplda_corpus::io::codec::{
+    read_framed, write_framed, CodecError, CodecResult, Decoder, Encoder,
+};
+use warplda_corpus::{DocMajorView, Vocabulary, WordMajorView};
+
+use crate::params::ModelParams;
+use crate::sampler::Sampler;
+use crate::state::SamplerState;
+
+/// Payload tag of a bare [`SamplerState`] snapshot (vs a live sampler).
+const STATE_SNAPSHOT_KIND: &str = "sampler-state";
+
+/// A sampler whose complete resumable state can be persisted.
+///
+/// Implementations write everything their `run_iteration` depends on that the
+/// constructor does not deterministically rebuild: topic assignments, any
+/// delayed count vectors, pending MH proposals, the RNG state and the
+/// iteration counter. Derived caches (alias tables, F+ trees) are *not*
+/// persisted — they are rebuilt lazily from the restored counts.
+pub trait Checkpointable: Sampler {
+    /// Stable identifier written into the checkpoint ("warplda", "cgs", …).
+    /// Loading a checkpoint into a sampler of a different kind is rejected.
+    fn checkpoint_kind(&self) -> &'static str;
+
+    /// Writes the resumable state into `enc`.
+    fn write_state(&self, enc: &mut Encoder<'_>) -> CodecResult<()>;
+
+    /// Restores state previously written by
+    /// [`write_state`](Self::write_state) into a sampler constructed over the
+    /// same corpus with the same parameters and configuration.
+    fn read_state(&mut self, dec: &mut Decoder<'_>) -> CodecResult<()>;
+}
+
+/// Writes `params` through an encoder.
+pub fn write_model_params(enc: &mut Encoder<'_>, params: &ModelParams) -> CodecResult<()> {
+    enc.write_usize(params.num_topics)?;
+    enc.write_f64(params.alpha)?;
+    enc.write_f64(params.beta)
+}
+
+/// Reads [`ModelParams`] previously written by [`write_model_params`].
+pub fn read_model_params(dec: &mut Decoder<'_>) -> CodecResult<ModelParams> {
+    let num_topics = dec.read_usize()?;
+    let alpha = dec.read_f64()?;
+    let beta = dec.read_f64()?;
+    if num_topics == 0 || !alpha.is_finite() || !beta.is_finite() || alpha <= 0.0 || beta <= 0.0 {
+        return Err(CodecError::Corrupt(format!(
+            "invalid model parameters: K = {num_topics}, alpha = {alpha}, beta = {beta}"
+        )));
+    }
+    Ok(ModelParams::new(num_topics, alpha, beta))
+}
+
+fn check_params_match(found: &ModelParams, expected: &ModelParams) -> CodecResult<()> {
+    if found.num_topics != expected.num_topics
+        || found.alpha.to_bits() != expected.alpha.to_bits()
+        || found.beta.to_bits() != expected.beta.to_bits()
+    {
+        return Err(CodecError::Corrupt(format!(
+            "checkpoint parameters (K = {}, alpha = {}, beta = {}) do not match the sampler \
+             (K = {}, alpha = {}, beta = {})",
+            found.num_topics,
+            found.alpha,
+            found.beta,
+            expected.num_topics,
+            expected.alpha,
+            expected.beta,
+        )));
+    }
+    Ok(())
+}
+
+/// Serializes `sampler` (and optionally the corpus vocabulary) as one framed
+/// checkpoint into `w`.
+pub fn write_checkpoint(
+    sampler: &dyn Checkpointable,
+    vocab: Option<&Vocabulary>,
+    w: &mut dyn Write,
+) -> CodecResult<()> {
+    let mut payload = Vec::new();
+    {
+        let mut enc = Encoder::new(&mut payload);
+        enc.write_str(sampler.checkpoint_kind())?;
+        write_model_params(&mut enc, sampler.params())?;
+        sampler.write_state(&mut enc)?;
+        match vocab {
+            Some(v) => {
+                enc.write_bool(true)?;
+                warplda_corpus::io::codec::write_vocab(&mut enc, v)?;
+            }
+            None => enc.write_bool(false)?,
+        }
+    }
+    write_framed(w, &payload)
+}
+
+/// Restores `sampler` from a framed checkpoint read from `r`; returns the
+/// embedded vocabulary when one was saved.
+pub fn read_checkpoint(
+    sampler: &mut dyn Checkpointable,
+    r: &mut dyn Read,
+) -> CodecResult<Option<Vocabulary>> {
+    let payload = read_framed(r)?;
+    let mut cursor = payload.as_slice();
+    let mut dec = Decoder::new(&mut cursor);
+    let kind = dec.read_string()?;
+    if kind != sampler.checkpoint_kind() {
+        return Err(CodecError::Corrupt(format!(
+            "checkpoint holds a {kind:?} sampler, cannot load into {:?}",
+            sampler.checkpoint_kind()
+        )));
+    }
+    let params = read_model_params(&mut dec)?;
+    check_params_match(&params, sampler.params())?;
+    sampler.read_state(&mut dec)?;
+    if dec.read_bool()? {
+        Ok(Some(warplda_corpus::io::codec::read_vocab(&mut dec)?))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Saves `sampler` (and optionally the vocabulary) to `path`, creating parent
+/// directories as needed.
+pub fn save_checkpoint(
+    sampler: &dyn Checkpointable,
+    vocab: Option<&Vocabulary>,
+    path: &Path,
+) -> CodecResult<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    write_checkpoint(sampler, vocab, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads the checkpoint at `path` into `sampler`; returns the embedded
+/// vocabulary when one was saved.
+pub fn load_checkpoint(
+    sampler: &mut dyn Checkpointable,
+    path: &Path,
+) -> CodecResult<Option<Vocabulary>> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_checkpoint(sampler, &mut r)
+}
+
+/// Writes a bare [`SamplerState`] (model parameters + assignments, counts are
+/// recomputed on load) plus an optional vocabulary as one framed snapshot.
+pub fn write_state_snapshot(
+    state: &SamplerState,
+    vocab: Option<&Vocabulary>,
+    w: &mut dyn Write,
+) -> CodecResult<()> {
+    let mut payload = Vec::new();
+    {
+        let mut enc = Encoder::new(&mut payload);
+        enc.write_str(STATE_SNAPSHOT_KIND)?;
+        write_model_params(&mut enc, state.params())?;
+        enc.write_u32_slice(state.assignments())?;
+        match vocab {
+            Some(v) => {
+                enc.write_bool(true)?;
+                warplda_corpus::io::codec::write_vocab(&mut enc, v)?;
+            }
+            None => enc.write_bool(false)?,
+        }
+    }
+    write_framed(w, &payload)
+}
+
+/// Reads a snapshot written by [`write_state_snapshot`], rebuilding the count
+/// structures against the given corpus views.
+pub fn read_state_snapshot(
+    r: &mut dyn Read,
+    doc_view: &DocMajorView,
+    word_view: &WordMajorView,
+) -> CodecResult<(SamplerState, Option<Vocabulary>)> {
+    let payload = read_framed(r)?;
+    let mut cursor = payload.as_slice();
+    let mut dec = Decoder::new(&mut cursor);
+    let kind = dec.read_string()?;
+    if kind != STATE_SNAPSHOT_KIND {
+        return Err(CodecError::Corrupt(format!(
+            "expected a {STATE_SNAPSHOT_KIND:?} snapshot, found {kind:?}"
+        )));
+    }
+    let params = read_model_params(&mut dec)?;
+    let z = dec.read_u32_vec()?;
+    validate_assignments(&z, doc_view.num_tokens(), params.num_topics)?;
+    let vocab = if dec.read_bool()? {
+        Some(warplda_corpus::io::codec::read_vocab(&mut dec)?)
+    } else {
+        None
+    };
+    let state = SamplerState::from_assignments_with_views(doc_view, word_view, params, z);
+    Ok((state, vocab))
+}
+
+/// Checks a decoded assignment vector against the corpus shape.
+pub(crate) fn validate_assignments(
+    z: &[u32],
+    expected_tokens: usize,
+    num_topics: usize,
+) -> CodecResult<()> {
+    if z.len() != expected_tokens {
+        return Err(CodecError::Corrupt(format!(
+            "checkpoint holds {} assignments but the corpus has {expected_tokens} tokens",
+            z.len()
+        )));
+    }
+    if let Some(&bad) = z.iter().find(|&&t| t as usize >= num_topics) {
+        return Err(CodecError::Corrupt(format!(
+            "assignment topic {bad} out of range (K = {num_topics})"
+        )));
+    }
+    Ok(())
+}
+
+/// Writes the RNG state (4 xoshiro256++ words).
+pub(crate) fn write_rng(enc: &mut Encoder<'_>, rng: &SmallRng) -> CodecResult<()> {
+    enc.write_u64_slice(&rng.state())
+}
+
+/// Reads an RNG state written by [`write_rng`].
+pub(crate) fn read_rng(dec: &mut Decoder<'_>) -> CodecResult<SmallRng> {
+    let words = dec.read_u64_vec()?;
+    let words: [u64; 4] = words
+        .try_into()
+        .map_err(|w: Vec<u64>| CodecError::Corrupt(format!("RNG state has {} words", w.len())))?;
+    Ok(SmallRng::from_state(words))
+}
+
+/// Shared checkpoint body of the five [`SamplerState`]-based baselines:
+/// iteration counter, RNG stream and doc-major assignments. Counts are
+/// rebuilt from the assignments on restore; derived caches (stale alias
+/// tables, F+ trees) are rebuilt lazily during the next iteration.
+pub(crate) fn write_baseline_body(
+    enc: &mut Encoder<'_>,
+    iterations: u64,
+    rng: &SmallRng,
+    state: &SamplerState,
+) -> CodecResult<()> {
+    enc.write_u64(iterations)?;
+    write_rng(enc, rng)?;
+    enc.write_u32_slice(state.assignments())
+}
+
+/// Decodes (and validates) a body written by [`write_baseline_body`].
+pub(crate) fn read_baseline_body(
+    dec: &mut Decoder<'_>,
+    expected_tokens: usize,
+    num_topics: usize,
+) -> CodecResult<(u64, SmallRng, Vec<u32>)> {
+    let iterations = dec.read_u64()?;
+    let rng = read_rng(dec)?;
+    let z = dec.read_u32_vec()?;
+    validate_assignments(&z, expected_tokens, num_topics)?;
+    Ok((iterations, rng, z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cgs::CollapsedGibbs;
+    use crate::warp::{WarpLda, WarpLdaConfig};
+    use warplda_corpus::{Corpus, CorpusBuilder, DatasetPreset};
+
+    fn tiny() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        for _ in 0..10 {
+            b.push_text_doc(["sun", "moon", "star", "sun"]);
+            b.push_text_doc(["leaf", "tree", "root", "leaf"]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn state_snapshot_round_trips_with_vocab() {
+        let corpus = tiny();
+        let dv = DocMajorView::build(&corpus);
+        let wv = WordMajorView::build(&corpus, &dv);
+        let params = ModelParams::new(3, 0.5, 0.1);
+        let z: Vec<u32> = (0..dv.num_tokens()).map(|i| (i % 3) as u32).collect();
+        let state = SamplerState::from_assignments(&corpus, &dv, &wv, params, z.clone());
+
+        let mut buf = Vec::new();
+        write_state_snapshot(&state, Some(corpus.vocab()), &mut buf).unwrap();
+        let (restored, vocab) = read_state_snapshot(&mut buf.as_slice(), &dv, &wv).unwrap();
+        restored.assert_consistent(&dv, &wv);
+        assert_eq!(restored.assignments(), &z[..]);
+        assert_eq!(vocab.unwrap().word(0), corpus.vocab().word(0));
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let corpus = tiny();
+        let params = ModelParams::new(4, 0.5, 0.1);
+        let warp = WarpLda::new(&corpus, params, WarpLdaConfig::default(), 1);
+        let mut buf = Vec::new();
+        write_checkpoint(&warp, None, &mut buf).unwrap();
+        let mut cgs = CollapsedGibbs::new(&corpus, params, 1);
+        let err = read_checkpoint(&mut cgs, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CodecError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn params_mismatch_is_rejected() {
+        let corpus = tiny();
+        let a = CollapsedGibbs::new(&corpus, ModelParams::new(4, 0.5, 0.1), 1);
+        let mut buf = Vec::new();
+        write_checkpoint(&a, None, &mut buf).unwrap();
+        let mut b = CollapsedGibbs::new(&corpus, ModelParams::new(5, 0.5, 0.1), 1);
+        let err = read_checkpoint(&mut b, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CodecError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn wrong_corpus_shape_is_rejected() {
+        let corpus = tiny();
+        let params = ModelParams::new(4, 0.5, 0.1);
+        let a = CollapsedGibbs::new(&corpus, params, 1);
+        let mut buf = Vec::new();
+        write_checkpoint(&a, None, &mut buf).unwrap();
+        let bigger = DatasetPreset::Tiny.generate_scaled(4);
+        let mut b = CollapsedGibbs::new(&bigger, params, 1);
+        let err = read_checkpoint(&mut b, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CodecError::Corrupt(_)), "{err}");
+    }
+}

@@ -72,11 +72,15 @@ pub fn log_joint_likelihood_of_state(
 
 /// Per-token perplexity `exp(−L / T)` of the joint likelihood; a scale-free
 /// number that is easier to compare across corpora than raw log likelihood.
-pub fn perplexity_per_token(log_likelihood: f64, num_tokens: u64) -> f64 {
+///
+/// Returns `None` for an empty corpus (`num_tokens == 0`): perplexity is
+/// undefined without tokens, and the old behaviour of silently yielding `NaN`
+/// poisoned every downstream aggregate.
+pub fn perplexity_per_token(log_likelihood: f64, num_tokens: u64) -> Option<f64> {
     if num_tokens == 0 {
-        return f64::NAN;
+        return None;
     }
-    (-log_likelihood / num_tokens as f64).exp()
+    Some((-log_likelihood / num_tokens as f64).exp())
 }
 
 /// Returns, for each topic, the `top_n` highest-count words as
@@ -208,10 +212,10 @@ mod tests {
 
     #[test]
     fn perplexity_is_monotone_in_likelihood() {
-        let p1 = perplexity_per_token(-1000.0, 100);
-        let p2 = perplexity_per_token(-900.0, 100);
+        let p1 = perplexity_per_token(-1000.0, 100).unwrap();
+        let p2 = perplexity_per_token(-900.0, 100).unwrap();
         assert!(p2 < p1);
-        assert!(perplexity_per_token(-10.0, 0).is_nan());
+        assert_eq!(perplexity_per_token(-10.0, 0), None);
     }
 
     #[test]

@@ -17,10 +17,12 @@ use warplda_cachesim::{MemoryProbe, NoProbe, RegionId};
 use warplda_corpus::{Corpus, DocMajorView, WordMajorView};
 use warplda_sampling::{new_rng, FTree};
 
+use crate::checkpoint::{self, Checkpointable};
 use crate::counts::TopicCounts;
 use crate::params::ModelParams;
 use crate::sampler::Sampler;
 use crate::state::SamplerState;
+use warplda_corpus::io::codec::{CodecResult, Decoder, Encoder};
 
 /// The F+LDA sampler, generic over an optional memory probe.
 pub struct FPlusLda<P: MemoryProbe = NoProbe> {
@@ -208,6 +210,37 @@ impl<P: MemoryProbe> Sampler for FPlusLda<P> {
 
     fn assignments(&self) -> Vec<u32> {
         self.state.assignments().to_vec()
+    }
+
+    fn assignments_slice(&self) -> Option<&[u32]> {
+        Some(self.state.assignments())
+    }
+}
+
+impl<P: MemoryProbe> Checkpointable for FPlusLda<P> {
+    fn checkpoint_kind(&self) -> &'static str {
+        "fpluslda"
+    }
+
+    fn write_state(&self, enc: &mut Encoder<'_>) -> CodecResult<()> {
+        checkpoint::write_baseline_body(enc, self.iterations, &self.rng, &self.state)
+    }
+
+    fn read_state(&mut self, dec: &mut Decoder<'_>) -> CodecResult<()> {
+        let (iterations, rng, z) = checkpoint::read_baseline_body(
+            dec,
+            self.doc_view.num_tokens(),
+            self.params.num_topics,
+        )?;
+        self.state = SamplerState::from_assignments_with_views(
+            &self.doc_view,
+            &self.word_view,
+            self.params,
+            z,
+        );
+        self.rng = rng;
+        self.iterations = iterations;
+        Ok(())
     }
 }
 

@@ -18,6 +18,13 @@
 //! (Section 4.4), instead of an O(DK)/O(KV) count matrix.
 //!
 //! Besides the samplers the crate provides:
+//! * [`trainer`] — the unified train/evaluate/checkpoint pipeline: one loop
+//!   with overlapped (background-thread) evaluation and checkpoint cadence,
+//!   shared by the bench harness, the distributed runner, the examples and
+//!   the tests;
+//! * [`checkpoint`] — real binary persistence of resumable sampler state
+//!   (bit-identical save/load/continue for WarpLDA) over the framed codec of
+//!   [`warplda_corpus::io::codec`];
 //! * [`eval`] — the log joint likelihood `log p(W, Z | α, β)` used in every
 //!   convergence figure, plus perplexity and top-word extraction;
 //! * [`counts`] — the open-addressing topic-count tables of Section 5.4;
@@ -31,6 +38,7 @@
 pub mod access;
 pub mod aliaslda;
 pub mod cgs;
+pub mod checkpoint;
 pub mod counts;
 pub mod eval;
 pub mod fpluslda;
@@ -40,10 +48,12 @@ pub mod params;
 pub mod sampler;
 pub mod sparselda;
 pub mod state;
+pub mod trainer;
 pub mod warp;
 
 pub use aliaslda::AliasLda;
 pub use cgs::CollapsedGibbs;
+pub use checkpoint::{load_checkpoint, save_checkpoint, Checkpointable};
 pub use eval::{log_joint_likelihood, perplexity_per_token, top_words};
 pub use fpluslda::FPlusLda;
 pub use lightlda::{LightLda, LightLdaVariant};
@@ -51,5 +61,6 @@ pub use params::ModelParams;
 pub use sampler::Sampler;
 pub use sparselda::SparseLda;
 pub use state::SamplerState;
+pub use trainer::{IterationLog, IterationRecord, TrainOutcome, Trainer, TrainerConfig};
 pub use warp::parallel::ParallelWarpLda;
 pub use warp::{WarpLda, WarpLdaConfig};

@@ -30,21 +30,47 @@ pub trait Sampler {
     /// Current topic assignments, in document-major token order.
     fn assignments(&self) -> Vec<u32>;
 
+    /// Borrowed view of the current assignments in document-major token
+    /// order, when the sampler stores them contiguously in that order.
+    ///
+    /// The baseline samplers (CGS, SparseLDA, AliasLDA, F+LDA, LightLDA) keep
+    /// their assignments doc-major inside a [`SamplerState`] and return
+    /// `Some`, so evaluation never forces the intermediate `Vec<u32>` copy
+    /// that [`assignments`](Self::assignments) makes. WarpLDA stores topics in
+    /// CSC entry order and must gather, so it returns `None` (the default).
+    fn assignments_slice(&self) -> Option<&[u32]> {
+        None
+    }
+
+    /// Copies the current assignments into `out` (cleared first), going
+    /// through the borrowed [`assignments_slice`](Self::assignments_slice)
+    /// path when available so slice-backed samplers pay exactly one copy —
+    /// not the two the [`assignments`](Self::assignments)-then-store pattern
+    /// costs. A caller holding onto `out` across calls also reuses its
+    /// allocation; the overlapped evaluator itself hands each snapshot to a
+    /// background worker, so it passes a fresh buffer per evaluation.
+    fn write_assignments_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        match self.assignments_slice() {
+            Some(z) => out.extend_from_slice(z),
+            None => *out = self.assignments(),
+        }
+    }
+
     /// Builds a [`SamplerState`] (counts included) for the current
-    /// assignments. Default implementation recounts from scratch.
+    /// assignments. Default implementation recounts from scratch, borrowing
+    /// the assignments where the sampler allows it.
     fn snapshot_state(
         &self,
         corpus: &Corpus,
         doc_view: &DocMajorView,
         word_view: &WordMajorView,
     ) -> SamplerState {
-        SamplerState::from_assignments(
-            corpus,
-            doc_view,
-            word_view,
-            *self.params(),
-            self.assignments(),
-        )
+        let z = match self.assignments_slice() {
+            Some(z) => z.to_vec(),
+            None => self.assignments(),
+        };
+        SamplerState::from_assignments(corpus, doc_view, word_view, *self.params(), z)
     }
 
     /// Log joint likelihood of the current assignments.
@@ -57,24 +83,6 @@ pub trait Sampler {
         let state = self.snapshot_state(corpus, doc_view, word_view);
         eval::log_joint_likelihood_of_state(doc_view, word_view, &state)
     }
-}
-
-/// Convenience driver: runs `iterations` iterations and returns the
-/// log-likelihood after each one. Used by tests, examples and the convergence
-/// benchmarks.
-pub fn run_and_trace<S: Sampler>(
-    sampler: &mut S,
-    corpus: &Corpus,
-    doc_view: &DocMajorView,
-    word_view: &WordMajorView,
-    iterations: usize,
-) -> Vec<f64> {
-    let mut trace = Vec::with_capacity(iterations);
-    for _ in 0..iterations {
-        sampler.run_iteration();
-        trace.push(sampler.log_likelihood(corpus, doc_view, word_view));
-    }
-    trace
 }
 
 #[cfg(test)]
@@ -106,6 +114,9 @@ mod tests {
         fn assignments(&self) -> Vec<u32> {
             self.z.clone()
         }
+        fn assignments_slice(&self) -> Option<&[u32]> {
+            Some(&self.z)
+        }
     }
 
     #[test]
@@ -120,12 +131,18 @@ mod tests {
         let mut fake = Fake { params, z: vec![0, 1, 0, 1, 0], iters: 0 };
         let ll_before = fake.log_likelihood(&corpus, &dv, &wv);
         assert!(ll_before.is_finite());
-        let trace = run_and_trace(&mut fake, &corpus, &dv, &wv, 3);
-        assert_eq!(trace.len(), 3);
+        for _ in 0..3 {
+            fake.run_iteration();
+        }
         assert_eq!(fake.iterations(), 3);
-        assert!(trace.iter().all(|l| l.is_finite()));
-        // Snapshot agrees with assignments.
+        assert!(fake.log_likelihood(&corpus, &dv, &wv).is_finite());
+        // Snapshot agrees with assignments, whichever path produced it.
         let state = fake.snapshot_state(&corpus, &dv, &wv);
         assert_eq!(state.assignments(), &fake.assignments()[..]);
+        assert_eq!(state.assignments(), fake.assignments_slice().unwrap());
+        // The buffered copy path matches too.
+        let mut buf = vec![99u32; 2];
+        fake.write_assignments_into(&mut buf);
+        assert_eq!(buf, fake.assignments());
     }
 }

@@ -52,13 +52,26 @@ impl SamplerState {
         params: ModelParams,
         z: Vec<u32>,
     ) -> Self {
+        debug_assert_eq!(corpus.vocab_size(), word_view.num_words());
+        Self::from_assignments_with_views(doc_view, word_view, params, z)
+    }
+
+    /// Like [`from_assignments`](Self::from_assignments) but without needing
+    /// the `Corpus` itself — the two views carry everything the counts need.
+    /// Used by checkpoint restoration, which operates on views alone.
+    pub fn from_assignments_with_views(
+        doc_view: &DocMajorView,
+        word_view: &WordMajorView,
+        params: ModelParams,
+        z: Vec<u32>,
+    ) -> Self {
         assert_eq!(z.len(), doc_view.num_tokens(), "one topic per token required");
         assert!(z.iter().all(|&t| (t as usize) < params.num_topics), "topic out of range");
         let k = params.num_topics;
         let mut doc_counts: Vec<HashCounts> = (0..doc_view.num_docs())
             .map(|d| HashCounts::with_expected(doc_view.doc_len(d as u32), k))
             .collect();
-        let mut word_counts: Vec<HashCounts> = (0..corpus.vocab_size())
+        let mut word_counts: Vec<HashCounts> = (0..word_view.num_words())
             .map(|w| HashCounts::with_expected(word_view.word_len(w as u32), k))
             .collect();
         let mut topic_counts = vec![0u32; k];

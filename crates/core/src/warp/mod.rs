@@ -35,9 +35,11 @@ use warplda_corpus::{Corpus, DocMajorView};
 use warplda_sampling::{new_rng, Dice, SparseAliasTable};
 use warplda_sparse::TokenMatrix;
 
+use crate::checkpoint::{self, Checkpointable};
 use crate::counts::{CountVector, TopicCounts};
 use crate::params::ModelParams;
 use crate::sampler::Sampler;
+use warplda_corpus::io::codec::{CodecError, CodecResult, Decoder, Encoder};
 
 /// Tuning knobs of WarpLDA.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -398,6 +400,61 @@ impl<P: MemoryProbe> Sampler for WarpLda<P> {
     fn assignments(&self) -> Vec<u32> {
         let data = self.matrix.data();
         self.entry_of_token.iter().map(|&e| data[e as usize]).collect()
+    }
+}
+
+impl<P: MemoryProbe> Checkpointable for WarpLda<P> {
+    fn checkpoint_kind(&self) -> &'static str {
+        "warplda"
+    }
+
+    fn write_state(&self, enc: &mut Encoder<'_>) -> CodecResult<()> {
+        enc.write_u64(self.iterations)?;
+        checkpoint::write_rng(enc, &self.rng)?;
+        enc.write_usize(self.config.mh_steps)?;
+        enc.write_bool(self.config.use_hash_counts)?;
+        enc.write_u32_slice(self.matrix.data())?;
+        enc.write_u32_slice(&self.proposals)?;
+        enc.write_u32_slice(&self.topic_counts)
+    }
+
+    fn read_state(&mut self, dec: &mut Decoder<'_>) -> CodecResult<()> {
+        let k = self.params.num_topics;
+        let entries = self.matrix.num_entries();
+        let iterations = dec.read_u64()?;
+        let rng = checkpoint::read_rng(dec)?;
+        let mh_steps = dec.read_usize()?;
+        let use_hash = dec.read_bool()?;
+        if mh_steps != self.config.mh_steps || use_hash != self.config.use_hash_counts {
+            return Err(CodecError::Corrupt(format!(
+                "checkpoint config (M = {mh_steps}, hash counts = {use_hash}) does not match \
+                 the sampler (M = {}, hash counts = {})",
+                self.config.mh_steps, self.config.use_hash_counts,
+            )));
+        }
+        let data = dec.read_u32_vec()?;
+        checkpoint::validate_assignments(&data, entries, k)?;
+        let proposals = dec.read_u32_vec()?;
+        checkpoint::validate_assignments(&proposals, entries * mh_steps, k)?;
+        let topic_counts = dec.read_u32_vec()?;
+        // The delayed-update invariant between iterations: c_k is exactly the
+        // topic histogram of the assignments.
+        let mut hist = vec![0u32; k];
+        for &t in &data {
+            hist[t as usize] += 1;
+        }
+        if topic_counts != hist {
+            return Err(CodecError::Corrupt(
+                "topic counts do not match the assignment histogram".to_string(),
+            ));
+        }
+        self.matrix.data_mut().copy_from_slice(&data);
+        self.proposals = proposals;
+        self.topic_counts = topic_counts;
+        self.next_topic_counts.fill(0);
+        self.rng = rng;
+        self.iterations = iterations;
+        Ok(())
     }
 }
 

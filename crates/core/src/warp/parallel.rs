@@ -25,9 +25,11 @@ use warplda_corpus::Corpus;
 use warplda_sampling::{new_rng, split_seed, Dice, SparseAliasTable};
 use warplda_sparse::{partition_by_size, PartitionStrategy};
 
+use crate::checkpoint::Checkpointable;
 use crate::counts::{CountVector, TopicCounts};
 use crate::params::ModelParams;
 use crate::sampler::Sampler;
+use warplda_corpus::io::codec::{CodecError, CodecResult, Decoder, Encoder};
 
 use super::{WarpLda, WarpLdaConfig};
 
@@ -354,6 +356,37 @@ impl Sampler for ParallelWarpLda {
     }
 }
 
+impl Checkpointable for ParallelWarpLda {
+    fn checkpoint_kind(&self) -> &'static str {
+        "warplda-parallel"
+    }
+
+    fn write_state(&self, enc: &mut Encoder<'_>) -> CodecResult<()> {
+        enc.write_u64(self.seed)?;
+        enc.write_usize(self.num_threads)?;
+        self.inner.write_state(enc)
+    }
+
+    fn read_state(&mut self, dec: &mut Decoder<'_>) -> CodecResult<()> {
+        let seed = dec.read_u64()?;
+        // Worker RNG streams are a pure function of (seed, iteration,
+        // worker), so continuing under a different thread count would be a
+        // *valid* run but not the bit-identical continuation the checkpoint
+        // promises — reject the mismatch like every other config field.
+        let written_threads = dec.read_usize()?;
+        if written_threads != self.num_threads {
+            return Err(CodecError::Corrupt(format!(
+                "checkpoint was written with {written_threads} worker thread(s) but the sampler \
+                 has {}; continuation would not be bit-identical",
+                self.num_threads,
+            )));
+        }
+        self.inner.read_state(dec)?;
+        self.seed = seed;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +464,20 @@ mod tests {
             b.run_iteration();
         }
         assert_eq!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    fn checkpoint_with_different_thread_count_is_rejected() {
+        use crate::checkpoint::{read_checkpoint, write_checkpoint};
+        let corpus = DatasetPreset::Tiny.generate_scaled(4);
+        let params = ModelParams::new(4, 0.5, 0.1);
+        let mut a = ParallelWarpLda::new(&corpus, params, WarpLdaConfig::default(), 1, 3);
+        a.run_iteration();
+        let mut buf = Vec::new();
+        write_checkpoint(&a, None, &mut buf).unwrap();
+        let mut b = ParallelWarpLda::new(&corpus, params, WarpLdaConfig::default(), 1, 2);
+        let err = read_checkpoint(&mut b, &mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("worker thread"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,514 @@
+//! A small self-contained binary codec for model checkpoints.
+//!
+//! The build environment has no package registry, so instead of pulling in a
+//! real serialization framework the workspace writes its persistent artifacts
+//! (sampler checkpoints, model snapshots, vocabularies) through this module:
+//! little-endian primitives behind an [`Encoder`]/[`Decoder`] pair, wrapped in
+//! a *framed container* with a magic number, a format version and an FNV-1a
+//! checksum so that truncated, corrupted or foreign files are rejected with a
+//! typed [`CodecError`] instead of being silently misread.
+//!
+//! Framed container layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"WLDACKPT"
+//! 8       4     format version (currently 1)
+//! 12      8     payload length in bytes
+//! 20      8     FNV-1a 64 checksum of the payload
+//! 28      n     payload
+//! ```
+//!
+//! The payload itself is written by the caller via an [`Encoder`]; the
+//! checkpoint layer in `warplda-core` composes sampler state, model
+//! parameters and (optionally) a [`Vocabulary`] inside one payload.
+//!
+//! The container materializes the whole payload in memory on both sides so
+//! the length and checksum can sit in the header (peak memory ≈ 2× the
+//! serialized state). Fine at the corpus scales this workspace trains; if a
+//! future PR checkpoints multi-GB models, move the checksum to a trailer and
+//! stream the payload instead — that is a format-version bump.
+
+use std::io::{Read, Write};
+
+use crate::Vocabulary;
+
+/// Magic number opening every framed file: identifies WarpLDA checkpoints.
+pub const MAGIC: [u8; 8] = *b"WLDACKPT";
+
+/// Current format version of the framed container. Bump when the payload
+/// layout changes incompatibly; readers reject versions they do not know.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Longest string (in bytes) the decoder will allocate for; guards against
+/// reading a length field from a corrupt file and allocating gigabytes.
+const MAX_STRING_LEN: u64 = 1 << 20;
+
+/// Errors produced while encoding or decoding framed binary data.
+#[derive(Debug)]
+pub enum CodecError {
+    /// An underlying I/O error (file missing, disk full, short read, …).
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] — not a WarpLDA checkpoint.
+    BadMagic,
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// The payload's checksum does not match the header.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum recomputed over the payload actually read.
+        found: u64,
+    },
+    /// The payload decoded to something structurally invalid.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "I/O error: {e}"),
+            CodecError::BadMagic => write!(f, "bad magic: not a WarpLDA checkpoint file"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint format version {v} (reader supports {FORMAT_VERSION})"
+                )
+            }
+            CodecError::ChecksumMismatch { expected, found } => {
+                write!(f, "checksum mismatch: header says {expected:#018x}, payload hashes to {found:#018x}")
+            }
+            CodecError::Corrupt(msg) => write!(f, "corrupt checkpoint payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+/// Result alias for codec operations.
+pub type CodecResult<T> = Result<T, CodecError>;
+
+/// FNV-1a 64-bit hash — the integrity checksum of the framed container.
+///
+/// Not cryptographic; it exists to catch truncation and bit rot, the failure
+/// modes that actually happen to checkpoint files on disk.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Writes little-endian primitives to an underlying writer.
+pub struct Encoder<'a> {
+    w: &'a mut dyn Write,
+}
+
+impl<'a> Encoder<'a> {
+    /// Wraps a writer.
+    pub fn new(w: &'a mut dyn Write) -> Self {
+        Self { w }
+    }
+
+    /// Writes raw bytes verbatim.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> CodecResult<()> {
+        self.w.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, v: u8) -> CodecResult<()> {
+        self.write_bytes(&[v])
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn write_u32(&mut self, v: u32) -> CodecResult<()> {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn write_u64(&mut self, v: u64) -> CodecResult<()> {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Writes a `usize` as a `u64`.
+    pub fn write_usize(&mut self, v: usize) -> CodecResult<()> {
+        self.write_u64(v as u64)
+    }
+
+    /// Writes an `f64` via its IEEE-754 bit pattern (exact round trip).
+    pub fn write_f64(&mut self, v: f64) -> CodecResult<()> {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Writes a `bool` as one byte.
+    pub fn write_bool(&mut self, v: bool) -> CodecResult<()> {
+        self.write_u8(v as u8)
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, s: &str) -> CodecResult<()> {
+        self.write_u64(s.len() as u64)?;
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Writes a length-prefixed `u32` slice. Elements are staged into a
+    /// stack chunk so the underlying writer sees kilobyte-sized blocks
+    /// rather than one virtual call per element — checkpoints stream
+    /// hundreds of millions of `u32`s through this path.
+    pub fn write_u32_slice(&mut self, vs: &[u32]) -> CodecResult<()> {
+        self.write_u64(vs.len() as u64)?;
+        let mut buf = [0u8; CHUNK_ELEMS * 4];
+        for chunk in vs.chunks(CHUNK_ELEMS) {
+            for (slot, &v) in buf.chunks_exact_mut(4).zip(chunk) {
+                slot.copy_from_slice(&v.to_le_bytes());
+            }
+            self.write_bytes(&buf[..chunk.len() * 4])?;
+        }
+        Ok(())
+    }
+
+    /// Writes a length-prefixed `u64` slice (chunked like
+    /// [`write_u32_slice`](Self::write_u32_slice)).
+    pub fn write_u64_slice(&mut self, vs: &[u64]) -> CodecResult<()> {
+        self.write_u64(vs.len() as u64)?;
+        let mut buf = [0u8; CHUNK_ELEMS * 8];
+        for chunk in vs.chunks(CHUNK_ELEMS) {
+            for (slot, &v) in buf.chunks_exact_mut(8).zip(chunk) {
+                slot.copy_from_slice(&v.to_le_bytes());
+            }
+            self.write_bytes(&buf[..chunk.len() * 8])?;
+        }
+        Ok(())
+    }
+}
+
+/// Elements per staged chunk of the slice codecs (8 KiB of `u64`s).
+const CHUNK_ELEMS: usize = 1024;
+
+/// Reads little-endian primitives from an underlying reader.
+pub struct Decoder<'a> {
+    r: &'a mut dyn Read,
+}
+
+impl<'a> Decoder<'a> {
+    /// Wraps a reader.
+    pub fn new(r: &'a mut dyn Read) -> Self {
+        Self { r }
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8]) -> CodecResult<()> {
+        self.r.read_exact(buf)?;
+        Ok(())
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&mut self) -> CodecResult<u8> {
+        let mut b = [0u8; 1];
+        self.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&mut self) -> CodecResult<u32> {
+        let mut b = [0u8; 4];
+        self.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self) -> CodecResult<u64> {
+        let mut b = [0u8; 8];
+        self.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads a `usize` written by [`Encoder::write_usize`], rejecting values
+    /// that do not fit the host's pointer width.
+    pub fn read_usize(&mut self) -> CodecResult<usize> {
+        let v = self.read_u64()?;
+        usize::try_from(v)
+            .map_err(|_| CodecError::Corrupt(format!("length {v} exceeds the host usize")))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn read_f64(&mut self) -> CodecResult<f64> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Reads a `bool`; any byte other than 0/1 is a corruption error.
+    pub fn read_bool(&mut self) -> CodecResult<bool> {
+        match self.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CodecError::Corrupt(format!("invalid bool byte {b:#04x}"))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn read_string(&mut self) -> CodecResult<String> {
+        let len = self.read_u64()?;
+        if len > MAX_STRING_LEN {
+            return Err(CodecError::Corrupt(format!("string length {len} is implausibly large")));
+        }
+        let mut bytes = vec![0u8; len as usize];
+        self.read_exact(&mut bytes)?;
+        String::from_utf8(bytes)
+            .map_err(|e| CodecError::Corrupt(format!("string is not UTF-8: {e}")))
+    }
+
+    /// Reads a length-prefixed `u32` vector, in kilobyte-sized blocks (the
+    /// mirror of [`Encoder::write_u32_slice`]). The preallocation is capped
+    /// so a corrupt length field cannot trigger a huge upfront allocation —
+    /// truncated data surfaces as an I/O error at the first short chunk.
+    pub fn read_u32_vec(&mut self) -> CodecResult<Vec<u32>> {
+        let len = self.read_usize()?;
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        let mut buf = [0u8; CHUNK_ELEMS * 4];
+        let mut remaining = len;
+        while remaining > 0 {
+            let n = remaining.min(CHUNK_ELEMS);
+            self.read_exact(&mut buf[..n * 4])?;
+            out.extend(
+                buf[..n * 4].chunks_exact(4).map(|b| u32::from_le_bytes(b.try_into().unwrap())),
+            );
+            remaining -= n;
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `u64` vector (chunked like
+    /// [`read_u32_vec`](Self::read_u32_vec)).
+    pub fn read_u64_vec(&mut self) -> CodecResult<Vec<u64>> {
+        let len = self.read_usize()?;
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        let mut buf = [0u8; CHUNK_ELEMS * 8];
+        let mut remaining = len;
+        while remaining > 0 {
+            let n = remaining.min(CHUNK_ELEMS);
+            self.read_exact(&mut buf[..n * 8])?;
+            out.extend(
+                buf[..n * 8].chunks_exact(8).map(|b| u64::from_le_bytes(b.try_into().unwrap())),
+            );
+            remaining -= n;
+        }
+        Ok(out)
+    }
+}
+
+/// Wraps `payload` in the framed container (magic, version, length, checksum)
+/// and writes it to `w`.
+pub fn write_framed(w: &mut dyn Write, payload: &[u8]) -> CodecResult<()> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(&fnv1a64(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads a framed container from `r`, verifying magic, version, length and
+/// checksum, and returns the payload bytes.
+pub fn read_framed(r: &mut dyn Read) -> CodecResult<Vec<u8>> {
+    let mut dec = Decoder::new(r);
+    let mut magic = [0u8; 8];
+    dec.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = dec.read_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let len = dec.read_usize()?;
+    let expected = dec.read_u64()?;
+    // Grow the payload buffer chunk by chunk instead of trusting the header's
+    // length field with one upfront allocation: a corrupt length over a short
+    // file then fails with a typed I/O error at the first missing chunk
+    // rather than aborting the process on an absurd allocation.
+    const CHUNK: usize = 1 << 20;
+    let mut payload = Vec::with_capacity(len.min(CHUNK));
+    let mut remaining = len;
+    while remaining > 0 {
+        let n = remaining.min(CHUNK);
+        let start = payload.len();
+        payload.resize(start + n, 0);
+        dec.read_exact(&mut payload[start..])?;
+        remaining -= n;
+    }
+    let found = fnv1a64(&payload);
+    if found != expected {
+        return Err(CodecError::ChecksumMismatch { expected, found });
+    }
+    Ok(payload)
+}
+
+/// Writes a [`Vocabulary`] (word strings in id order) through an encoder.
+pub fn write_vocab(enc: &mut Encoder<'_>, vocab: &Vocabulary) -> CodecResult<()> {
+    enc.write_usize(vocab.len())?;
+    for (_, word) in vocab.iter() {
+        enc.write_str(word)?;
+    }
+    Ok(())
+}
+
+/// Reads a [`Vocabulary`] previously written by [`write_vocab`].
+pub fn read_vocab(dec: &mut Decoder<'_>) -> CodecResult<Vocabulary> {
+    let len = dec.read_usize()?;
+    let mut vocab = Vocabulary::with_capacity(len);
+    for i in 0..len {
+        let word = dec.read_string()?;
+        let id = vocab.intern(&word);
+        if id as usize != i {
+            return Err(CodecError::Corrupt(format!("duplicate vocabulary word {word:?}")));
+        }
+    }
+    Ok(vocab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        {
+            let mut enc = Encoder::new(&mut buf);
+            enc.write_u8(7).unwrap();
+            enc.write_u32(0xDEAD_BEEF).unwrap();
+            enc.write_u64(u64::MAX - 3).unwrap();
+            enc.write_f64(-0.125).unwrap();
+            enc.write_f64(f64::NEG_INFINITY).unwrap();
+            enc.write_bool(true).unwrap();
+            enc.write_str("warp λδα").unwrap();
+            enc.write_u32_slice(&[1, 2, 3]).unwrap();
+            enc.write_u64_slice(&[9, 8]).unwrap();
+        }
+        let mut cursor = buf.as_slice();
+        let mut dec = Decoder::new(&mut cursor);
+        assert_eq!(dec.read_u8().unwrap(), 7);
+        assert_eq!(dec.read_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(dec.read_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(dec.read_f64().unwrap(), -0.125);
+        assert_eq!(dec.read_f64().unwrap(), f64::NEG_INFINITY);
+        assert!(dec.read_bool().unwrap());
+        assert_eq!(dec.read_string().unwrap(), "warp λδα");
+        assert_eq!(dec.read_u32_vec().unwrap(), vec![1, 2, 3]);
+        assert_eq!(dec.read_u64_vec().unwrap(), vec![9, 8]);
+    }
+
+    #[test]
+    fn slices_crossing_chunk_boundaries_round_trip() {
+        let u32s: Vec<u32> =
+            (0..CHUNK_ELEMS as u32 * 3 + 7).map(|i| i.wrapping_mul(2654435761)).collect();
+        let u64s: Vec<u64> =
+            (0..CHUNK_ELEMS as u64 + 1).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let mut buf = Vec::new();
+        {
+            let mut enc = Encoder::new(&mut buf);
+            enc.write_u32_slice(&u32s).unwrap();
+            enc.write_u64_slice(&u64s).unwrap();
+        }
+        let mut cursor = buf.as_slice();
+        let mut dec = Decoder::new(&mut cursor);
+        assert_eq!(dec.read_u32_vec().unwrap(), u32s);
+        assert_eq!(dec.read_u64_vec().unwrap(), u64s);
+    }
+
+    #[test]
+    fn absurd_payload_length_is_rejected_without_allocating() {
+        let mut file = Vec::new();
+        write_framed(&mut file, b"tiny").unwrap();
+        // Corrupt the length field (offset 12..20) to claim a 1 TiB payload:
+        // the reader must fail on the missing data, not attempt the
+        // allocation.
+        file[12..20].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        assert!(matches!(read_framed(&mut file.as_slice()), Err(CodecError::Io(_))));
+    }
+
+    #[test]
+    fn framed_round_trip() {
+        let payload = b"the quick brown fox".to_vec();
+        let mut file = Vec::new();
+        write_framed(&mut file, &payload).unwrap();
+        let back = read_framed(&mut file.as_slice()).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut file = Vec::new();
+        write_framed(&mut file, b"x").unwrap();
+        file[0] ^= 0xFF;
+        assert!(matches!(read_framed(&mut file.as_slice()), Err(CodecError::BadMagic)));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut file = Vec::new();
+        write_framed(&mut file, b"x").unwrap();
+        file[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            read_framed(&mut file.as_slice()),
+            Err(CodecError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let mut file = Vec::new();
+        write_framed(&mut file, b"precious model weights").unwrap();
+        let last = file.len() - 1;
+        file[last] ^= 0x01;
+        assert!(matches!(
+            read_framed(&mut file.as_slice()),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_an_io_error() {
+        let mut file = Vec::new();
+        write_framed(&mut file, b"0123456789").unwrap();
+        file.truncate(file.len() - 4);
+        assert!(matches!(read_framed(&mut file.as_slice()), Err(CodecError::Io(_))));
+    }
+
+    #[test]
+    fn vocab_round_trip() {
+        let mut vocab = Vocabulary::new();
+        for w in ["alpha", "beta", "gamma", "delta"] {
+            vocab.intern(w);
+        }
+        let mut buf = Vec::new();
+        write_vocab(&mut Encoder::new(&mut buf), &vocab).unwrap();
+        let mut cursor = buf.as_slice();
+        let back = read_vocab(&mut Decoder::new(&mut cursor)).unwrap();
+        assert_eq!(back.len(), 4);
+        assert_eq!(back.word(0), Some("alpha"));
+        assert_eq!(back.get("delta"), Some(3));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned value: the checksum is part of the on-disk format.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -8,6 +8,11 @@
 //! * A plain-text format: one document per line, whitespace-separated tokens,
 //!   lower-cased, with everything except ASCII alphanumerics stripped — the
 //!   same pre-processing the paper applies to ClueWeb12.
+//!
+//! Binary persistence (model checkpoints, vocabulary snapshots) lives in the
+//! [`codec`] submodule.
+
+pub mod codec;
 
 use std::io::{BufRead, BufReader, Read, Write};
 

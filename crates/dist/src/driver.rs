@@ -16,6 +16,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use warplda_core::trainer::{IterationLog, IterationRecord};
 use warplda_core::{ModelParams, ParallelWarpLda, Sampler, WarpLdaConfig};
 use warplda_corpus::{Corpus, DocMajorView, WordMajorView};
 use warplda_sparse::PartitionStrategy;
@@ -170,12 +171,45 @@ impl DistributedWarpLda {
         iterations: usize,
         eval_every: usize,
     ) -> Vec<IterationReport> {
-        (1..=iterations)
-            .map(|it| {
-                let evaluate = it == iterations || (eval_every > 0 && it % eval_every == 0);
-                self.run_iteration(corpus, evaluate)
-            })
-            .collect()
+        self.run_where(corpus, iterations, |it| {
+            it == iterations || (eval_every > 0 && it % eval_every == 0)
+        })
+    }
+
+    /// Like [`run`](Self::run) but with an arbitrary evaluation schedule:
+    /// `evaluate` receives the 1-based index of each iteration *within this
+    /// call* and returns whether to compute the likelihood after it. Used by
+    /// harness binaries that want extra points (e.g. the very first
+    /// iteration of a convergence curve).
+    pub fn run_where(
+        &mut self,
+        corpus: &Corpus,
+        iterations: usize,
+        mut evaluate: impl FnMut(usize) -> bool,
+    ) -> Vec<IterationReport> {
+        (1..=iterations).map(|it| self.run_iteration(corpus, evaluate(it))).collect()
+    }
+
+    /// Adapts the accumulated per-iteration reports into the workspace's
+    /// shared [`IterationLog`] format — the same structure the single-machine
+    /// [`Trainer`](warplda_core::Trainer) produces — so distributed and
+    /// shared-memory runs print, export and compare through one pipeline.
+    /// `seconds` accumulates the *modeled* wall time (compute plus
+    /// communication).
+    pub fn iteration_log(&self, name: &str) -> IterationLog {
+        let tokens_per_iteration = self.doc_view.num_tokens() as u64 * 2;
+        let mut log = IterationLog::new(name, tokens_per_iteration);
+        let mut seconds = 0.0;
+        for r in &self.reports {
+            seconds += r.wall_sec;
+            log.push(IterationRecord {
+                iteration: r.iteration,
+                seconds,
+                tokens_per_sec: r.tokens_per_sec,
+                log_likelihood: r.log_likelihood,
+            });
+        }
+        log
     }
 }
 
@@ -250,6 +284,22 @@ mod tests {
         assert!(reports[1].log_likelihood.is_some());
         assert!(reports[2].log_likelihood.is_none());
         assert!(reports[3].log_likelihood.is_some());
+    }
+
+    #[test]
+    fn iteration_log_mirrors_reports() {
+        let (corpus, mut dist) = driver(2, 1, 3);
+        dist.run(&corpus, 4, 2);
+        let log = dist.iteration_log("dist");
+        assert_eq!(log.records().len(), 4);
+        assert_eq!(log.eval_points().count(), 2, "iterations 2 and 4 were evaluated");
+        assert_eq!(log.records()[0].iteration, 1);
+        assert_eq!(log.tokens_per_iteration(), corpus.num_tokens() * 2);
+        assert!(log.total_seconds() > 0.0);
+        assert!(log.final_ll().is_finite());
+        // Cumulative seconds equal the summed modeled wall times.
+        let wall: f64 = dist.reports().iter().map(|r| r.wall_sec).sum();
+        assert!((log.total_seconds() - wall).abs() < 1e-12);
     }
 
     #[test]

@@ -14,10 +14,8 @@
 //! *actual cluster deployment*, which greedy-partitions both documents and
 //! words (Section 5.3.2 / Figure 4).
 
-use std::time::Instant;
-
-use warplda_core::{ModelParams, Sampler, WarpLda, WarpLdaConfig};
-use warplda_corpus::{Corpus, DocMajorView, WordMajorView};
+use warplda_core::{ModelParams, Trainer, WarpLda, WarpLdaConfig};
+use warplda_corpus::Corpus;
 use warplda_sparse::PartitionStrategy;
 
 use crate::cluster::ClusterConfig;
@@ -91,24 +89,24 @@ pub fn scaling_sweep(
     assert!(!worker_counts.is_empty(), "need at least one machine count");
     assert!(iterations >= 1, "need at least one measurement iteration");
 
-    // Measured single-machine sampling throughput (tokens/sec of compute).
+    // Measured single-machine sampling throughput (tokens/sec of compute;
+    // WarpLDA visits every token twice per iteration). The first iteration
+    // pays allocation costs, so it runs as unmeasured warm-up.
+    let trainer = Trainer::new(corpus);
     let mut single = WarpLda::new(corpus, params, config, seed);
-    single.run_iteration(); // warm-up: first iteration pays allocation costs
-    let t0 = Instant::now();
-    for _ in 0..iterations {
-        single.run_iteration();
-    }
-    let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
-    let single_tps = corpus.num_tokens() as f64 * 2.0 * iterations as f64 / elapsed;
-
-    let doc_view = DocMajorView::build(corpus);
-    let word_view = WordMajorView::build(corpus, &doc_view);
+    let single_tps =
+        trainer.measure_throughput(&mut single, iterations, 1, corpus.num_tokens() * 2);
 
     let mut points = Vec::with_capacity(worker_counts.len());
     let mut baseline: Option<f64> = None;
     for &workers in worker_counts {
-        let grid =
-            GridPartition::build(corpus, &doc_view, &word_view, workers, PartitionStrategy::Greedy);
+        let grid = GridPartition::build(
+            corpus,
+            trainer.doc_view(),
+            trainer.word_view(),
+            workers,
+            PartitionStrategy::Greedy,
+        );
         let cluster = ClusterConfig::tianhe2_like(workers, config.mh_steps);
         let mut point = model_point(corpus.num_tokens(), single_tps, &grid, &cluster);
         let base = *baseline.get_or_insert(point.tokens_per_sec);

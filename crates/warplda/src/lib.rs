@@ -56,8 +56,10 @@ pub mod prelude {
         format_topics, log_joint_likelihood, perplexity_per_token, top_words,
     };
     pub use warplda_core::{
-        AliasLda, CollapsedGibbs, FPlusLda, LightLda, LightLdaVariant, ModelParams,
-        ParallelWarpLda, Sampler, SamplerState, SparseLda, WarpLda, WarpLdaConfig,
+        load_checkpoint, save_checkpoint, AliasLda, Checkpointable, CollapsedGibbs, FPlusLda,
+        IterationLog, IterationRecord, LightLda, LightLdaVariant, ModelParams, ParallelWarpLda,
+        Sampler, SamplerState, SparseLda, TrainOutcome, Trainer, TrainerConfig, WarpLda,
+        WarpLdaConfig,
     };
     pub use warplda_corpus::{
         Corpus, CorpusBuilder, CorpusStats, DatasetPreset, DocMajorView, Document, LdaGenerator,

@@ -4,12 +4,12 @@
 //! Prints, for each sampler, the log joint likelihood over iterations and the
 //! wall-clock time per iteration, so the trade-off the paper discusses (MH
 //! samplers need more iterations but each is far cheaper) is visible directly.
+//! Every run goes through the unified [`Trainer`] pipeline; the likelihoods
+//! are computed overlapped with sampling on a background worker.
 //!
 //! ```bash
 //! cargo run --release --example compare_samplers
 //! ```
-
-use std::time::Instant;
 
 use warplda::prelude::*;
 
@@ -19,9 +19,6 @@ fn main() {
     let iterations = 30;
     println!("corpus: {}", corpus.stats().table_row("tiny-synthetic"));
     println!("K = {}, alpha = {:.3}, beta = {}\n", params.num_topics, params.alpha, params.beta);
-
-    let doc_view = DocMajorView::build(&corpus);
-    let word_view = WordMajorView::build(&corpus, &doc_view);
 
     // Each entry: (name, boxed sampler).
     let mut samplers: Vec<(String, Box<dyn Sampler>)> = vec![
@@ -36,6 +33,8 @@ fn main() {
         ),
     ];
 
+    let trainer = Trainer::new(&corpus);
+    let schedule = TrainerConfig::new(iterations).eval_every(1);
     println!(
         "{:<16} {:>14} {:>14} {:>14} {:>12}",
         "sampler",
@@ -45,18 +44,15 @@ fn main() {
         "ms/iter"
     );
     for (name, sampler) in &mut samplers {
-        let mut ll_at = Vec::new();
-        let start = Instant::now();
-        for it in 1..=iterations {
-            sampler.run_iteration();
-            if it == 1 || it == 10 || it == iterations {
-                ll_at.push(sampler.log_likelihood(&corpus, &doc_view, &word_view));
-            }
-        }
-        let ms_per_iter = start.elapsed().as_secs_f64() * 1000.0 / iterations as f64;
+        let log = trainer.train(&schedule, name, sampler.as_mut());
+        let ms_per_iter = log.total_seconds() * 1000.0 / iterations as f64;
         println!(
             "{:<16} {:>14.1} {:>14.1} {:>14.1} {:>12.2}",
-            name, ll_at[0], ll_at[1], ll_at[2], ms_per_iter
+            name,
+            log.likelihood_at(1).unwrap(),
+            log.likelihood_at(10).unwrap(),
+            log.likelihood_at(iterations as u64).unwrap(),
+            ms_per_iter
         );
     }
 

@@ -1,6 +1,7 @@
 //! Distributed WarpLDA on the simulated cluster: partition balance,
 //! communication volume and the modelled speedup curve (a miniature of
-//! Figures 6 and 9b).
+//! Figures 6 and 9b). The per-iteration history flows through the same
+//! [`IterationLog`] pipeline as single-machine training.
 //!
 //! ```bash
 //! cargo run --release --example distributed_run
@@ -28,19 +29,20 @@ fn main() {
         grid.total_tokens(),
     );
 
+    driver.run(&corpus, 10, 2);
+    let log = driver.iteration_log("WarpLDA (4 machines)");
     println!(
         "\n{:<6} {:>16} {:>14} {:>12} {:>12}",
         "iter", "log-likelihood", "Mtokens/s", "compute ms", "comm ms"
     );
-    for it in 1..=10 {
-        let r = driver.run_iteration(&corpus, it % 2 == 0);
+    for (record, report) in log.records().iter().zip(driver.reports()) {
         println!(
             "{:<6} {:>16} {:>14.2} {:>12.2} {:>12.3}",
-            r.iteration,
-            r.log_likelihood.map_or("-".to_string(), |l| format!("{l:.1}")),
-            r.tokens_per_sec / 1e6,
-            r.compute_sec * 1e3,
-            r.comm_sec * 1e3,
+            record.iteration,
+            record.log_likelihood.map_or("-".to_string(), |l| format!("{l:.1}")),
+            record.tokens_per_sec / 1e6,
+            report.compute_sec * 1e3,
+            report.comm_sec * 1e3,
         );
     }
 

@@ -4,12 +4,16 @@
 //!
 //! This mirrors the motivating use of LDA in the paper's introduction
 //! (text analysis / document organization) on data small enough to read.
+//! After training (through the unified [`Trainer`]), the learned model is
+//! saved as a binary state snapshot — assignments plus vocabulary — and read
+//! back, demonstrating the model exchange format.
 //!
 //! ```bash
 //! cargo run --release --example news_topics
 //! ```
 
 use warplda::corpus::io::{tokenize_text, DEFAULT_STOP_WORDS};
+use warplda::lda::checkpoint::{read_state_snapshot, write_state_snapshot};
 use warplda::prelude::*;
 
 /// Three desks, a handful of headline-like documents each. Every document is
@@ -49,25 +53,36 @@ fn main() {
     let corpus = builder.build().expect("corpus builds");
     println!("corpus: {}", corpus.stats().table_row("news-wire"));
 
-    // Train a 3-topic model.
+    // Train a 3-topic model through the unified pipeline (no evaluation
+    // needed — the corpus is tiny and we only want the final model).
     let params = ModelParams::new(3, 0.5, 0.05);
     let mut sampler = WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(4), 2024);
-    let doc_view = DocMajorView::build(&corpus);
-    let word_view = WordMajorView::build(&corpus, &doc_view);
-    for _ in 0..120 {
-        sampler.run_iteration();
-    }
+    let trainer = Trainer::new(&corpus);
+    trainer.train(&TrainerConfig::sampling_only(120), "news", &mut sampler);
 
-    // Show the topics.
-    let state = sampler.snapshot_state(&corpus, &doc_view, &word_view);
+    // Save the trained model (assignments + vocabulary) as a binary snapshot
+    // and read it back — the exchange format for downstream consumers.
+    let state = sampler.snapshot_state(&corpus, trainer.doc_view(), trainer.word_view());
+    let mut snapshot = Vec::new();
+    write_state_snapshot(&state, Some(corpus.vocab()), &mut snapshot).expect("snapshot writes");
+    let (state, vocab) =
+        read_state_snapshot(&mut snapshot.as_slice(), trainer.doc_view(), trainer.word_view())
+            .expect("snapshot reads back");
+    println!(
+        "model snapshot: {} bytes on disk, vocabulary of {} words embedded",
+        snapshot.len(),
+        vocab.expect("vocab was embedded").len()
+    );
+
+    // Show the topics from the reloaded model.
     println!("\ndiscovered topics:");
     print!("{}", format_topics(&corpus, &state, 6));
 
     // Check how well topics align with desks: majority topic per desk.
-    let z = sampler.assignments();
+    let z = state.assignments();
     let mut votes = [[0u32; 3]; 3];
     for (d, &desk) in desk_of_doc.iter().enumerate() {
-        for i in doc_view.doc_range(d as u32) {
+        for i in trainer.doc_view().doc_range(d as u32) {
             votes[desk][z[i] as usize] += 1;
         }
     }

@@ -1,4 +1,5 @@
-//! Quickstart: train WarpLDA on a small synthetic corpus and print the topics.
+//! Quickstart: train WarpLDA on a small synthetic corpus through the unified
+//! [`Trainer`] pipeline, checkpoint the run, resume it, and print the topics.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
@@ -20,21 +21,50 @@ fn main() {
     let params = ModelParams::paper_defaults(num_topics);
     let config = WarpLdaConfig::with_mh_steps(2);
 
-    // 3. Train.
-    let doc_view = DocMajorView::build(&corpus);
-    let word_view = WordMajorView::build(&corpus, &doc_view);
+    // 3. Train through the Trainer: 50 iterations, likelihood every 10
+    //    (computed on a background worker, overlapped with sampling), and a
+    //    checkpoint every 25 iterations.
+    let ckpt_dir = std::path::PathBuf::from("target/quickstart-checkpoints");
+    let trainer = Trainer::new(&corpus);
+    let schedule = TrainerConfig::new(50).eval_every(10).checkpoint_into(&ckpt_dir, 25);
     let mut sampler = WarpLda::new(&corpus, params, config, 42);
-    for iteration in 1..=50 {
-        sampler.run_iteration();
-        if iteration % 10 == 0 {
-            let ll = sampler.log_likelihood(&corpus, &doc_view, &word_view);
-            let ppl = perplexity_per_token(ll, corpus.num_tokens());
-            println!("iteration {iteration:>3}: log-likelihood {ll:.1}, perplexity/token {ppl:.1}");
-        }
+    let outcome = trainer
+        .train_checkpointed(&schedule, "quickstart", &mut sampler, Some(corpus.vocab()))
+        .expect("training with checkpoints succeeds");
+    for p in outcome.log.eval_points() {
+        let ppl = perplexity_per_token(p.log_likelihood.unwrap(), corpus.num_tokens())
+            .expect("corpus is not empty");
+        println!(
+            "iteration {:>3}: log-likelihood {:.1}, perplexity/token {ppl:.1}",
+            p.iteration,
+            p.log_likelihood.unwrap()
+        );
     }
+    println!(
+        "mean sampling throughput: {:.2} Mtoken/s; checkpoints: {:?}",
+        outcome.log.mean_tokens_per_sec() / 1e6,
+        outcome.checkpoints
+    );
 
-    // 4. Inspect the learned topics.
-    let state = sampler.snapshot_state(&corpus, &doc_view, &word_view);
+    // 4. Resume from the mid-run checkpoint: load it into a *fresh* sampler
+    //    and continue the remaining 25 iterations. The result is
+    //    bit-identical to the uninterrupted 50-iteration run above.
+    let midpoint = &outcome.checkpoints[0];
+    let mut resumed = WarpLda::new(&corpus, params, config, 42);
+    trainer
+        .resume(
+            &TrainerConfig::new(25).eval_every(25),
+            "quickstart-resume",
+            &mut resumed,
+            midpoint,
+            None, // checkpoints of the resumed run reuse the embedded vocabulary
+        )
+        .expect("resume succeeds");
+    assert_eq!(resumed.assignments(), sampler.assignments(), "resume is bit-identical");
+    println!("\nresumed from {} and reproduced the run bit-for-bit", midpoint.display());
+
+    // 5. Inspect the learned topics.
+    let state = sampler.snapshot_state(&corpus, trainer.doc_view(), trainer.word_view());
     println!("\ntop words per topic:");
     print!("{}", format_topics(&corpus, &state, 8));
 }

@@ -19,12 +19,8 @@ fn corpus() -> Corpus {
 }
 
 fn final_ll(sampler: &mut dyn Sampler, corpus: &Corpus, iterations: usize) -> f64 {
-    let doc_view = DocMajorView::build(corpus);
-    let word_view = WordMajorView::build(corpus, &doc_view);
-    for _ in 0..iterations {
-        sampler.run_iteration();
-    }
-    sampler.log_likelihood(corpus, &doc_view, &word_view)
+    let trainer = Trainer::new(corpus);
+    trainer.train(&TrainerConfig::new(iterations).eval_every(0), sampler.name(), sampler).final_ll()
 }
 
 #[test]
@@ -90,16 +86,11 @@ fn more_mh_steps_converge_in_fewer_iterations() {
     // Figure 8: per iteration, larger M converges faster (or at least no slower).
     let corpus = corpus();
     let params = ModelParams::new(5, 0.5, 0.05);
-    let doc_view = DocMajorView::build(&corpus);
-    let word_view = WordMajorView::build(&corpus, &doc_view);
     let budget = 12;
 
     let ll_for = |m: usize| {
         let mut s = WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(m), 77);
-        for _ in 0..budget {
-            s.run_iteration();
-        }
-        s.log_likelihood(&corpus, &doc_view, &word_view)
+        final_ll(&mut s, &corpus, budget)
     };
     let ll_m1 = ll_for(1);
     let ll_m8 = ll_for(8);

@@ -1,13 +1,249 @@
-//! Serialization round-trips: corpora, statistics and model snapshots survive
-//! the UCI text format and the serde data model (exercised through JSON-like
-//! introspection of the derived implementations via `serde_test`-free checks).
+//! Serialization round-trips through the *real* binary checkpoint codec:
+//! every sampler in the workspace saves and reloads losslessly, corrupted
+//! files are rejected by the framed container (magic + version + checksum),
+//! and a saved WarpLDA run — serial and parallel — continues bit-identically
+//! to an uninterrupted one. The UCI text format round-trips are retained from
+//! the original suite.
 
-use warplda::corpus::io::{read_uci_bag_of_words, read_uci_vocab, write_uci_bag_of_words};
+use warplda::corpus::io::codec::CodecError;
+use warplda::corpus::io::{read_uci_bag_of_words, write_uci_bag_of_words};
+use warplda::lda::checkpoint::{
+    read_checkpoint, read_state_snapshot, write_checkpoint, write_state_snapshot,
+};
 use warplda::prelude::*;
+
+fn corpus() -> Corpus {
+    DatasetPreset::Tiny.generate_scaled(4)
+}
+
+/// Trains `sampler` for `iterations`, saves it, loads the checkpoint into
+/// `fresh`, and asserts the reload is lossless (assignments, iteration
+/// counter and likelihood all identical).
+fn roundtrip(
+    corpus: &Corpus,
+    sampler: &mut dyn Checkpointable,
+    fresh: &mut dyn Checkpointable,
+    iterations: usize,
+) {
+    let trainer = Trainer::new(corpus);
+    trainer.train(&TrainerConfig::sampling_only(iterations), sampler.name(), sampler);
+
+    let mut buf = Vec::new();
+    write_checkpoint(sampler, Some(corpus.vocab()), &mut buf).expect("checkpoint writes");
+    let vocab = read_checkpoint(fresh, &mut buf.as_slice()).expect("checkpoint reads");
+    assert_eq!(vocab.expect("vocab embedded").len(), corpus.vocab_size());
+
+    assert_eq!(fresh.iterations(), iterations as u64, "{}", sampler.name());
+    assert_eq!(fresh.assignments(), sampler.assignments(), "{}", sampler.name());
+    let ll_a = sampler.log_likelihood(corpus, trainer.doc_view(), trainer.word_view());
+    let ll_b = fresh.log_likelihood(corpus, trainer.doc_view(), trainer.word_view());
+    assert_eq!(ll_a.to_bits(), ll_b.to_bits(), "{}: {ll_a} vs {ll_b}", sampler.name());
+}
+
+#[test]
+fn checkpoint_round_trips_all_six_samplers() {
+    let corpus = corpus();
+    let params = ModelParams::paper_defaults(8);
+
+    // Fresh samplers are constructed with a *different* seed on purpose: the
+    // checkpoint must fully determine the restored state.
+    roundtrip(
+        &corpus,
+        &mut CollapsedGibbs::new(&corpus, params, 7),
+        &mut CollapsedGibbs::new(&corpus, params, 99),
+        5,
+    );
+    roundtrip(
+        &corpus,
+        &mut SparseLda::new(&corpus, params, 7),
+        &mut SparseLda::new(&corpus, params, 99),
+        5,
+    );
+    roundtrip(
+        &corpus,
+        &mut AliasLda::new(&corpus, params, 7),
+        &mut AliasLda::new(&corpus, params, 99),
+        5,
+    );
+    roundtrip(
+        &corpus,
+        &mut FPlusLda::new(&corpus, params, 7),
+        &mut FPlusLda::new(&corpus, params, 99),
+        5,
+    );
+    roundtrip(
+        &corpus,
+        &mut LightLda::new(&corpus, params, 4, 7),
+        &mut LightLda::new(&corpus, params, 4, 99),
+        5,
+    );
+    let config = WarpLdaConfig::with_mh_steps(2);
+    roundtrip(
+        &corpus,
+        &mut WarpLda::new(&corpus, params, config, 7),
+        &mut WarpLda::new(&corpus, params, config, 99),
+        5,
+    );
+}
+
+#[test]
+fn corrupted_checkpoints_are_rejected() {
+    let corpus = corpus();
+    let params = ModelParams::paper_defaults(6);
+    let sampler = WarpLda::new(&corpus, params, WarpLdaConfig::default(), 3);
+    let mut buf = Vec::new();
+    write_checkpoint(&sampler, None, &mut buf).expect("checkpoint writes");
+
+    // A flipped magic byte: not recognized as a checkpoint at all.
+    let mut bad_magic = buf.clone();
+    bad_magic[0] ^= 0xFF;
+    let mut target = WarpLda::new(&corpus, params, WarpLdaConfig::default(), 3);
+    assert!(matches!(
+        read_checkpoint(&mut target, &mut bad_magic.as_slice()),
+        Err(CodecError::BadMagic)
+    ));
+
+    // A flipped payload bit: caught by the checksum.
+    let mut bad_payload = buf.clone();
+    let last = bad_payload.len() - 1;
+    bad_payload[last] ^= 0x01;
+    assert!(matches!(
+        read_checkpoint(&mut target, &mut bad_payload.as_slice()),
+        Err(CodecError::ChecksumMismatch { .. })
+    ));
+
+    // A truncated file: short read.
+    let mut truncated = buf.clone();
+    truncated.truncate(truncated.len() / 2);
+    assert!(matches!(
+        read_checkpoint(&mut target, &mut truncated.as_slice()),
+        Err(CodecError::Io(_))
+    ));
+
+    // An unknown future format version.
+    let mut future = buf.clone();
+    future[8..12].copy_from_slice(&42u32.to_le_bytes());
+    assert!(matches!(
+        read_checkpoint(&mut target, &mut future.as_slice()),
+        Err(CodecError::UnsupportedVersion(42))
+    ));
+
+    // None of the rejections left the target partially overwritten in a way
+    // that breaks it: it still runs.
+    target.run_iteration();
+}
+
+/// Save → load → continue must equal an uninterrupted run *bit for bit*.
+fn assert_resume_is_bit_identical<S: Checkpointable>(
+    corpus: &Corpus,
+    make: impl Fn(u64) -> S,
+    split: usize,
+    total: usize,
+) {
+    let trainer = Trainer::new(corpus);
+
+    // The uninterrupted reference run.
+    let mut continuous = make(11);
+    trainer.train(&TrainerConfig::sampling_only(total), "continuous", &mut continuous);
+
+    // The interrupted run: train to `split`, checkpoint, reload into a fresh
+    // sampler (different seed — the checkpoint must carry the RNG), continue.
+    let mut first_half = make(11);
+    trainer.train(&TrainerConfig::sampling_only(split), "first-half", &mut first_half);
+    let mut buf = Vec::new();
+    write_checkpoint(&first_half, None, &mut buf).expect("checkpoint writes");
+
+    let mut resumed = make(1234);
+    read_checkpoint(&mut resumed, &mut buf.as_slice()).expect("checkpoint reads");
+    assert_eq!(resumed.assignments(), first_half.assignments());
+    trainer.train(&TrainerConfig::sampling_only(total - split), "second-half", &mut resumed);
+
+    assert_eq!(resumed.iterations(), continuous.iterations());
+    assert_eq!(
+        resumed.assignments(),
+        continuous.assignments(),
+        "resumed run must match the uninterrupted run bit for bit"
+    );
+}
+
+#[test]
+fn serial_warplda_resume_equals_continuous_run() {
+    let corpus = corpus();
+    let params = ModelParams::paper_defaults(8);
+    let config = WarpLdaConfig::with_mh_steps(2);
+    assert_resume_is_bit_identical(
+        &corpus,
+        |seed| WarpLda::new(&corpus, params, config, seed),
+        4,
+        9,
+    );
+}
+
+#[test]
+fn parallel_warplda_resume_equals_continuous_run() {
+    let corpus = corpus();
+    let params = ModelParams::paper_defaults(8);
+    let config = WarpLdaConfig::with_mh_steps(2);
+    assert_resume_is_bit_identical(
+        &corpus,
+        |seed| ParallelWarpLda::new(&corpus, params, config, seed, 3),
+        3,
+        7,
+    );
+}
+
+#[test]
+fn state_snapshot_round_trips_a_trained_model() {
+    // A trained model can be exported as a binary state snapshot (assignments
+    // + vocabulary) and later re-imported without losing any counts.
+    let corpus = corpus();
+    let params = ModelParams::paper_defaults(8);
+    let trainer = Trainer::new(&corpus);
+    let mut sampler = WarpLda::new(&corpus, params, WarpLdaConfig::default(), 17);
+    trainer.train(&TrainerConfig::sampling_only(10), "warp", &mut sampler);
+
+    let state = sampler.snapshot_state(&corpus, trainer.doc_view(), trainer.word_view());
+    let mut buf = Vec::new();
+    write_state_snapshot(&state, Some(corpus.vocab()), &mut buf).expect("snapshot writes");
+    let (restored, vocab) =
+        read_state_snapshot(&mut buf.as_slice(), trainer.doc_view(), trainer.word_view())
+            .expect("snapshot reads");
+    restored.assert_consistent(trainer.doc_view(), trainer.word_view());
+    assert_eq!(restored.assignments(), &sampler.assignments()[..]);
+    assert_eq!(vocab.expect("vocab embedded").len(), corpus.vocab_size());
+
+    // The restored state reproduces the exact same likelihood.
+    let from_sampler = sampler.log_likelihood(&corpus, trainer.doc_view(), trainer.word_view());
+    let from_restored = warplda::lda::eval::log_joint_likelihood_of_state(
+        trainer.doc_view(),
+        trainer.word_view(),
+        &restored,
+    );
+    assert!((from_sampler - from_restored).abs() < 1e-9);
+}
+
+#[test]
+fn checkpoint_files_round_trip_on_disk() {
+    let corpus = corpus();
+    let params = ModelParams::paper_defaults(6);
+    let dir = std::env::temp_dir().join(format!("warplda-ckpt-test-{}", std::process::id()));
+    let path = dir.join("nested/run.ckpt");
+
+    let mut sampler = WarpLda::new(&corpus, params, WarpLdaConfig::default(), 5);
+    sampler.run_iteration();
+    save_checkpoint(&sampler, Some(corpus.vocab()), &path).expect("file saves");
+
+    let mut fresh = WarpLda::new(&corpus, params, WarpLdaConfig::default(), 500);
+    let vocab = load_checkpoint(&mut fresh, &path).expect("file loads");
+    assert_eq!(fresh.assignments(), sampler.assignments());
+    assert_eq!(vocab.expect("vocab embedded").len(), corpus.vocab_size());
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
 
 #[test]
 fn uci_format_round_trips_counts_exactly() {
-    let corpus = DatasetPreset::Tiny.generate_scaled(4);
+    let corpus = corpus();
     let mut buf = Vec::new();
     write_uci_bag_of_words(&corpus, &mut buf).unwrap();
     let reread = read_uci_bag_of_words(buf.as_slice(), None).unwrap();
@@ -23,48 +259,6 @@ fn uci_format_round_trips_counts_exactly() {
         b.sort_unstable();
         assert_eq!(a, b, "document {d}");
     }
-}
-
-#[test]
-fn vocab_file_round_trips_word_strings() {
-    let mut builder = CorpusBuilder::new();
-    builder.push_text_doc(["alpha", "beta", "gamma", "alpha"]);
-    let corpus = builder.build().unwrap();
-
-    // Write the vocabulary as the UCI vocab.*.txt format and read it back.
-    let vocab_txt: String = (0..corpus.vocab_size())
-        .map(|w| format!("{}\n", corpus.vocab().word(w as u32).unwrap()))
-        .collect();
-    let vocab = read_uci_vocab(vocab_txt.as_bytes()).unwrap();
-    assert_eq!(vocab.len(), corpus.vocab_size());
-    assert_eq!(vocab.word(0), Some("alpha"));
-    assert_eq!(vocab.get("gamma"), Some(2));
-}
-
-#[test]
-fn corpus_stats_and_model_state_survive_retraining_from_assignments() {
-    // A trained model can be exported as plain topic assignments and later
-    // re-imported into a SamplerState without losing any counts.
-    let corpus = DatasetPreset::Tiny.generate_scaled(4);
-    let params = ModelParams::paper_defaults(8);
-    let mut sampler = WarpLda::new(&corpus, params, WarpLdaConfig::default(), 17);
-    for _ in 0..10 {
-        sampler.run_iteration();
-    }
-    let doc_view = DocMajorView::build(&corpus);
-    let word_view = WordMajorView::build(&corpus, &doc_view);
-    let exported = sampler.assignments();
-
-    let restored =
-        SamplerState::from_assignments(&corpus, &doc_view, &word_view, params, exported.clone());
-    restored.assert_consistent(&doc_view, &word_view);
-    assert_eq!(restored.assignments(), &exported[..]);
-
-    // The restored state reproduces the exact same likelihood.
-    let from_sampler = sampler.log_likelihood(&corpus, &doc_view, &word_view);
-    let from_restored =
-        warplda::lda::eval::log_joint_likelihood_of_state(&doc_view, &word_view, &restored);
-    assert!((from_sampler - from_restored).abs() < 1e-9);
 }
 
 #[test]

@@ -1,0 +1,210 @@
+//! Integration tests of the unified [`Trainer`] pipeline: the evaluation
+//! schedule, the checkpoint cadence, and — the point of the overlapped
+//! evaluator — that sampling iterations are *not* serialized behind
+//! likelihood computation.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use warplda::prelude::*;
+
+type Spans = Arc<Mutex<Vec<(Instant, Instant)>>>;
+
+/// A sampler whose iterations take a fixed, known wall time; used to measure
+/// the pipeline itself rather than any real sampler.
+struct SlowSampler {
+    params: ModelParams,
+    z: Vec<u32>,
+    iters: u64,
+    iteration_time: Duration,
+    sampling_spans: Spans,
+}
+
+impl Sampler for SlowSampler {
+    fn name(&self) -> &'static str {
+        "SlowSampler"
+    }
+    fn params(&self) -> &ModelParams {
+        &self.params
+    }
+    fn run_iteration(&mut self) {
+        let start = Instant::now();
+        std::thread::sleep(self.iteration_time);
+        self.iters += 1;
+        self.sampling_spans.lock().unwrap().push((start, Instant::now()));
+    }
+    fn iterations(&self) -> u64 {
+        self.iters
+    }
+    fn assignments(&self) -> Vec<u32> {
+        self.z.clone()
+    }
+    fn assignments_slice(&self) -> Option<&[u32]> {
+        Some(&self.z)
+    }
+}
+
+/// Builds a trainer whose evaluation function takes `eval_time` and records
+/// its execution span, plus a slow sampler, over the given corpus.
+fn slow_setup(
+    corpus: &Corpus,
+    iteration_time: Duration,
+    eval_time: Duration,
+) -> (Trainer<'_>, SlowSampler, Spans, Spans) {
+    let sampling_spans: Spans = Arc::new(Mutex::new(Vec::new()));
+    let eval_spans: Spans = Arc::new(Mutex::new(Vec::new()));
+    let eval_spans_clone = Arc::clone(&eval_spans);
+    let trainer = Trainer::new(corpus).with_eval_fn(Box::new(move |input| {
+        let start = Instant::now();
+        std::thread::sleep(eval_time);
+        eval_spans_clone.lock().unwrap().push((start, Instant::now()));
+        input.assignments.len() as f64
+    }));
+    let sampler = SlowSampler {
+        params: ModelParams::paper_defaults(4),
+        z: vec![0; corpus.num_tokens() as usize],
+        iters: 0,
+        iteration_time,
+        sampling_spans: Arc::clone(&sampling_spans),
+    };
+    (trainer, sampler, sampling_spans, eval_spans)
+}
+
+fn spans_overlap(a: &[(Instant, Instant)], b: &[(Instant, Instant)]) -> bool {
+    a.iter().any(|&(a0, a1)| b.iter().any(|&(b0, b1)| a0 < b1 && b0 < a1))
+}
+
+#[test]
+fn overlapped_evaluation_does_not_serialize_sampling() {
+    let corpus = DatasetPreset::Tiny.generate_scaled(32);
+    let iteration_time = Duration::from_millis(40);
+    let eval_time = Duration::from_millis(40);
+    let iterations = 4;
+
+    // Inline: every evaluation stalls the loop, so the wall time is at least
+    // iterations * (iteration + eval) and no spans ever overlap.
+    let (trainer, mut sampler, sampling_spans, eval_spans) =
+        slow_setup(&corpus, iteration_time, eval_time);
+    let t0 = Instant::now();
+    trainer.train(
+        &TrainerConfig::new(iterations).eval_every(1).inline_eval(),
+        "inline",
+        &mut sampler,
+    );
+    let inline_wall = t0.elapsed();
+    assert!(
+        !spans_overlap(&sampling_spans.lock().unwrap(), &eval_spans.lock().unwrap()),
+        "inline evaluation must never run concurrently with sampling"
+    );
+    assert!(
+        inline_wall >= Duration::from_millis(4 * (40 + 40)),
+        "inline evaluation serializes: {inline_wall:?}"
+    );
+
+    // Overlapped: evaluations run on the background worker while the next
+    // iteration samples, so some evaluation span overlaps some sampling span
+    // and the total wall time drops by roughly the hidden evaluation time.
+    let (trainer, mut sampler, sampling_spans, eval_spans) =
+        slow_setup(&corpus, iteration_time, eval_time);
+    let t0 = Instant::now();
+    trainer.train(&TrainerConfig::new(iterations).eval_every(1), "overlapped", &mut sampler);
+    let overlapped_wall = t0.elapsed();
+    assert!(
+        spans_overlap(&sampling_spans.lock().unwrap(), &eval_spans.lock().unwrap()),
+        "overlapped evaluation must run concurrently with sampling"
+    );
+    assert!(
+        overlapped_wall < inline_wall,
+        "overlap must beat inline: {overlapped_wall:?} vs {inline_wall:?}"
+    );
+}
+
+#[test]
+fn overlapped_and_inline_produce_identical_likelihoods_and_chains() {
+    let corpus = DatasetPreset::Tiny.generate_scaled(8);
+    let params = ModelParams::paper_defaults(10);
+    let config = WarpLdaConfig::with_mh_steps(2);
+    let trainer = Trainer::new(&corpus);
+
+    let mut a = WarpLda::new(&corpus, params, config, 21);
+    let overlapped = trainer.train(&TrainerConfig::new(12).eval_every(3), "overlapped", &mut a);
+    let mut b = WarpLda::new(&corpus, params, config, 21);
+    let inline =
+        trainer.train(&TrainerConfig::new(12).eval_every(3).inline_eval(), "inline", &mut b);
+
+    assert_eq!(a.assignments(), b.assignments(), "evaluation must not perturb the chain");
+    let lls = |log: &IterationLog| -> Vec<(u64, u64)> {
+        log.eval_points().map(|r| (r.iteration, r.log_likelihood.unwrap().to_bits())).collect()
+    };
+    assert_eq!(lls(&overlapped), lls(&inline), "likelihood values must be identical");
+    assert_eq!(overlapped.eval_points().count(), 4, "iterations 3, 6, 9, 12");
+}
+
+#[test]
+fn checkpoint_cadence_writes_and_resumes() {
+    let corpus = DatasetPreset::Tiny.generate_scaled(4);
+    let params = ModelParams::paper_defaults(6);
+    let config = WarpLdaConfig::with_mh_steps(2);
+    let dir = std::env::temp_dir().join(format!("warplda-trainer-test-{}", std::process::id()));
+
+    let trainer = Trainer::new(&corpus);
+    let schedule = TrainerConfig::new(6).eval_every(0).no_final_eval().checkpoint_into(&dir, 2);
+    let mut sampler = WarpLda::new(&corpus, params, config, 9);
+    let outcome = trainer
+        .train_checkpointed(&schedule, "run A", &mut sampler, Some(corpus.vocab()))
+        .expect("checkpointed training succeeds");
+    assert_eq!(outcome.checkpoints.len(), 3, "iterations 2, 4 and 6");
+    for path in &outcome.checkpoints {
+        assert!(path.exists(), "{path:?} must exist");
+        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("run_A-iter"));
+    }
+
+    // Resume from the iteration-4 checkpoint and run the remaining 2
+    // iterations: bit-identical to the uninterrupted 6-iteration run.
+    let mut resumed = WarpLda::new(&corpus, params, config, 777);
+    let continued = trainer
+        .resume(
+            &TrainerConfig::new(2).eval_every(0).no_final_eval().checkpoint_into(&dir, 2),
+            "run A resumed",
+            &mut resumed,
+            &outcome.checkpoints[1],
+            None,
+        )
+        .expect("resume succeeds");
+    assert_eq!(resumed.iterations(), 6);
+    assert_eq!(resumed.assignments(), sampler.assignments());
+    assert_eq!(continued.log.records().first().map(|r| r.iteration), Some(5));
+
+    // Checkpoints written by the resumed run carry the vocabulary embedded in
+    // the loaded checkpoint even though resume() was given None.
+    let final_ckpt = continued.checkpoints.last().expect("resumed run checkpointed");
+    let mut reloaded = WarpLda::new(&corpus, params, config, 4242);
+    let vocab = load_checkpoint(&mut reloaded, final_ckpt).expect("reload succeeds");
+    assert_eq!(vocab.expect("vocab carried through resume").len(), corpus.vocab_size());
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn trainer_drives_every_sampler_kind_through_one_pipeline() {
+    let corpus = DatasetPreset::Tiny.generate_scaled(4);
+    let params = ModelParams::paper_defaults(8);
+    let trainer = Trainer::new(&corpus);
+    let schedule = TrainerConfig::new(3).eval_every(3);
+
+    let mut samplers: Vec<Box<dyn Sampler>> = vec![
+        Box::new(CollapsedGibbs::new(&corpus, params, 1)),
+        Box::new(SparseLda::new(&corpus, params, 1)),
+        Box::new(AliasLda::new(&corpus, params, 1)),
+        Box::new(FPlusLda::new(&corpus, params, 1)),
+        Box::new(LightLda::new(&corpus, params, 2, 1)),
+        Box::new(WarpLda::new(&corpus, params, WarpLdaConfig::default(), 1)),
+        Box::new(ParallelWarpLda::new(&corpus, params, WarpLdaConfig::default(), 1, 2)),
+    ];
+    for sampler in &mut samplers {
+        let log = trainer.train(&schedule, "any", sampler.as_mut());
+        assert_eq!(log.records().len(), 3);
+        assert!(log.final_ll().is_finite());
+        assert!(log.total_seconds() > 0.0);
+    }
+}

@@ -162,6 +162,26 @@ mod tests {
     }
 
     #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut a = SmallRng::seed_from_u64(9);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = SmallRng::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn all_zero_state_is_remapped() {
+        let mut z = SmallRng::from_state([0; 4]);
+        let first = z.next_u64();
+        let second = z.next_u64();
+        assert!(first != 0 || second != 0, "the zero fixed point must be avoided");
+    }
+
+    #[test]
     fn different_seeds_differ() {
         let mut a = SmallRng::seed_from_u64(1);
         let mut b = SmallRng::seed_from_u64(2);

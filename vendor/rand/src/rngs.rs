@@ -34,6 +34,30 @@ impl SeedableRng for SmallRng {
     }
 }
 
+impl SmallRng {
+    /// Returns the raw xoshiro256++ state, e.g. for checkpointing a run.
+    ///
+    /// Restoring the same words via [`from_state`](Self::from_state) resumes
+    /// the stream exactly where it left off, which is what makes
+    /// save/load/continue runs bit-identical to uninterrupted ones.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state previously read with
+    /// [`state`](Self::state).
+    ///
+    /// The all-zero state is a fixed point of xoshiro256++ and is remapped to
+    /// the same non-zero constant [`seed_from_u64`](SeedableRng::seed_from_u64)
+    /// uses, so a `from_state` generator never degenerates.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0, 0, 0, 0] {
+            return Self { s: [0x9E37_79B9_7F4A_7C15, 0, 0, 0] };
+        }
+        Self { s }
+    }
+}
+
 impl RngCore for SmallRng {
     #[inline]
     fn next_u64(&mut self) -> u64 {
