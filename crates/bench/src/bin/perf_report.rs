@@ -1,0 +1,441 @@
+//! The reproducible perf harness behind `BENCH_*.json`.
+//!
+//! Runs serial WarpLDA, parallel WarpLDA and the five baselines on the
+//! synthetic Table-3 preset corpora and records, per sampler:
+//!
+//! * wall-clock and *phase-time-only* sampling throughput (tokens/second,
+//!   one full pass over the corpus per iteration);
+//! * per-phase wall time for WarpLDA (word phase vs doc phase);
+//! * heap-allocation count and allocated bytes per iteration, measured by a
+//!   counting global allocator;
+//! * a peak-RSS proxy: the high-water mark of *live* heap bytes reached
+//!   during the measured iterations (measured by the same allocator), plus
+//!   the process-wide `VmHWM` where the OS exposes it.
+//!
+//! ```text
+//! cargo run --release -p warplda-bench --bin perf_report            # default scale
+//! cargo run --release -p warplda-bench --bin perf_report -- --tiny  # CI smoke budget
+//! cargo run --release -p warplda-bench --bin perf_report -- --out BENCH_PR4.json --label after
+//! cargo run --release -p warplda-bench --bin perf_report -- --validate BENCH_PR4.json
+//! ```
+//!
+//! With `--label`, the report is merged into `--out` under
+//! `{"runs": {<label>: …}}` so a single file can carry a before/after
+//! trajectory across PRs. `--validate` schema-checks such a file (every
+//! preset must report every sampler) and is run by CI.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+use warplda::prelude::*;
+use warplda_bench::json::Json;
+
+// ---------------------------------------------------------------------------
+// Counting allocator: every heap operation of the process is tallied.
+// ---------------------------------------------------------------------------
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+static PEAK_LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+
+struct CountingAllocator;
+
+impl CountingAllocator {
+    fn on_alloc(size: usize) {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(size as u64, Relaxed);
+        let live = LIVE_BYTES.fetch_add(size as i64, Relaxed) + size as i64;
+        PEAK_LIVE_BYTES.fetch_max(live, Relaxed);
+    }
+
+    fn on_dealloc(size: usize) {
+        LIVE_BYTES.fetch_sub(size as i64, Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::on_alloc(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        Self::on_dealloc(layout.size());
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        Self::on_alloc(new_size);
+        Self::on_dealloc(layout.size());
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Snapshot of the allocator counters.
+#[derive(Clone, Copy)]
+struct AllocMark {
+    calls: u64,
+    bytes: u64,
+    live: i64,
+}
+
+fn alloc_mark() -> AllocMark {
+    let live = LIVE_BYTES.load(Relaxed);
+    // Restart the peak tracker from the current live level so the next
+    // measured region reports its own high-water mark.
+    PEAK_LIVE_BYTES.store(live, Relaxed);
+    AllocMark { calls: ALLOC_CALLS.load(Relaxed), bytes: ALLOC_BYTES.load(Relaxed), live }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+/// Every sampler the report must contain, in report order.
+const SAMPLER_NAMES: [&str; 7] =
+    ["WarpLDA", "WarpLDA-parallel", "CGS", "SparseLDA", "AliasLDA", "F+LDA", "LightLDA"];
+
+const MH_STEPS: usize = 2;
+const THREADS: usize = 4;
+const SEED: u64 = 42;
+
+struct Budget {
+    warmup: usize,
+    iterations: usize,
+}
+
+struct Measurement {
+    wall_secs_per_iter: f64,
+    phase_secs_per_iter: Option<f64>,
+    word_secs_per_iter: Option<f64>,
+    doc_secs_per_iter: Option<f64>,
+    allocs_per_iter: f64,
+    alloc_bytes_per_iter: f64,
+    peak_live_bytes: i64,
+}
+
+/// Runs `budget.warmup` unmeasured iterations (first-touch allocation costs)
+/// followed by `budget.iterations` measured ones. `phase_split` reads the
+/// sampler's `(word, doc)` phase clocks where it keeps them.
+fn measure<S: Sampler>(
+    sampler: &mut S,
+    budget: &Budget,
+    phase_split: impl Fn(&S) -> Option<(f64, f64)>,
+) -> Measurement {
+    for _ in 0..budget.warmup {
+        sampler.run_iteration();
+    }
+    let before = alloc_mark();
+    let t0 = Instant::now();
+    let mut word = 0.0;
+    let mut doc = 0.0;
+    let mut have_split = false;
+    for _ in 0..budget.iterations {
+        sampler.run_iteration();
+        if let Some((w, d)) = phase_split(sampler) {
+            word += w;
+            doc += d;
+            have_split = true;
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let calls = ALLOC_CALLS.load(Relaxed) - before.calls;
+    let bytes = ALLOC_BYTES.load(Relaxed) - before.bytes;
+    let peak = (PEAK_LIVE_BYTES.load(Relaxed) - before.live).max(0);
+    let n = budget.iterations as f64;
+    Measurement {
+        wall_secs_per_iter: wall / n,
+        phase_secs_per_iter: have_split.then_some((word + doc) / n),
+        word_secs_per_iter: have_split.then_some(word / n),
+        doc_secs_per_iter: have_split.then_some(doc / n),
+        allocs_per_iter: calls as f64 / n,
+        alloc_bytes_per_iter: bytes as f64 / n,
+        peak_live_bytes: peak,
+    }
+}
+
+fn measurement_json(m: &Measurement, tokens: u64, budget: &Budget) -> Json {
+    let opt = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+    let mut o = Json::obj();
+    o.set("tokens_per_sec_wall", Json::Num(tokens as f64 / m.wall_secs_per_iter.max(1e-12)));
+    o.set("tokens_per_sec_phase", opt(m.phase_secs_per_iter.map(|s| tokens as f64 / s.max(1e-12))));
+    o.set("wall_seconds_per_iter", Json::Num(m.wall_secs_per_iter));
+    o.set("phase_seconds_word", opt(m.word_secs_per_iter));
+    o.set("phase_seconds_doc", opt(m.doc_secs_per_iter));
+    o.set("allocations_per_iter", Json::Num(m.allocs_per_iter));
+    o.set("allocated_bytes_per_iter", Json::Num(m.alloc_bytes_per_iter));
+    o.set("peak_live_bytes", Json::Num(m.peak_live_bytes as f64));
+    o.set("iterations", Json::Num(budget.iterations as f64));
+    o.set("warmup", Json::Num(budget.warmup as f64));
+    o
+}
+
+fn run_preset(preset: DatasetPreset, budget: &Budget) -> Json {
+    let corpus = preset.generate();
+    let cfg = preset.config();
+    let params = ModelParams::new(cfg.num_topics, cfg.alpha, cfg.beta);
+    let tokens = corpus.num_tokens();
+    let warp_cfg = WarpLdaConfig::with_mh_steps(MH_STEPS);
+    eprintln!(
+        "[perf_report] {}: {} docs, {} tokens, {} words, K = {}",
+        preset.name(),
+        corpus.num_docs(),
+        tokens,
+        corpus.vocab_size(),
+        cfg.num_topics
+    );
+
+    let mut samplers = Json::obj();
+    let mut add = |name: &str, m: Measurement| {
+        eprintln!(
+            "[perf_report]   {:<18} {:>9.3} Mtok/s wall{}  {:>7.0} allocs/iter",
+            name,
+            tokens as f64 / m.wall_secs_per_iter.max(1e-12) / 1e6,
+            m.phase_secs_per_iter
+                .map(|s| format!(", {:>9.3} Mtok/s phase", tokens as f64 / s.max(1e-12) / 1e6))
+                .unwrap_or_default(),
+            m.allocs_per_iter,
+        );
+        samplers.set(name, measurement_json(&m, tokens, budget));
+    };
+
+    let mut warp = WarpLda::new(&corpus, params, warp_cfg, SEED);
+    add("WarpLDA", measure(&mut warp, budget, |s| Some(s.last_phase_seconds())));
+    drop(warp);
+
+    let mut par = ParallelWarpLda::new(&corpus, params, warp_cfg, SEED, THREADS);
+    add("WarpLDA-parallel", measure(&mut par, budget, |s| Some(s.last_phase_seconds())));
+    drop(par);
+
+    let mut cgs = CollapsedGibbs::new(&corpus, params, SEED);
+    add("CGS", measure(&mut cgs, budget, |_| None));
+    drop(cgs);
+
+    let mut sparse = SparseLda::new(&corpus, params, SEED);
+    add("SparseLDA", measure(&mut sparse, budget, |_| None));
+    drop(sparse);
+
+    let mut alias = AliasLda::new(&corpus, params, SEED);
+    add("AliasLDA", measure(&mut alias, budget, |_| None));
+    drop(alias);
+
+    let mut fplus = FPlusLda::new(&corpus, params, SEED);
+    add("F+LDA", measure(&mut fplus, budget, |_| None));
+    drop(fplus);
+
+    let mut light = LightLda::new(&corpus, params, MH_STEPS as u32, SEED);
+    add("LightLDA", measure(&mut light, budget, |_| None));
+    drop(light);
+
+    let mut o = Json::obj();
+    o.set("docs", Json::Num(corpus.num_docs() as f64));
+    o.set("tokens", Json::Num(tokens as f64));
+    o.set("vocab", Json::Num(corpus.vocab_size() as f64));
+    o.set("topics", Json::Num(cfg.num_topics as f64));
+    o.set("samplers", samplers);
+    o
+}
+
+/// Process-wide peak resident set (`VmHWM`), where the OS exposes it.
+fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+// ---------------------------------------------------------------------------
+// Report assembly, merging, validation
+// ---------------------------------------------------------------------------
+
+fn build_report(mode: &str) -> Json {
+    let (presets, budget): (&[DatasetPreset], Budget) = match mode {
+        "tiny" => (&[DatasetPreset::Tiny], Budget { warmup: 1, iterations: 1 }),
+        "full" => (
+            &[
+                DatasetPreset::NyTimesLike,
+                DatasetPreset::PubMedLike,
+                DatasetPreset::ClueWebSubsetLike,
+            ],
+            Budget { warmup: 3, iterations: 8 },
+        ),
+        _ => (
+            &[
+                DatasetPreset::NyTimesLike,
+                DatasetPreset::PubMedLike,
+                DatasetPreset::ClueWebSubsetLike,
+            ],
+            Budget { warmup: 2, iterations: 3 },
+        ),
+    };
+
+    let mut preset_objs = Json::obj();
+    for &preset in presets {
+        preset_objs.set(preset.name(), run_preset(preset, &budget));
+    }
+
+    let mut report = Json::obj();
+    report.set("schema", Json::Str("warplda-perf-report/1".into()));
+    report.set("mode", Json::Str(mode.into()));
+    report.set("threads", Json::Num(THREADS as f64));
+    // Worker threads time-slice when the host has fewer cores than THREADS;
+    // read the parallel numbers against this.
+    report.set(
+        "host_cpus",
+        Json::Num(std::thread::available_parallelism().map_or(0, |n| n.get()) as f64),
+    );
+    report.set("mh_steps", Json::Num(MH_STEPS as f64));
+    report.set("seed", Json::Num(SEED as f64));
+    report.set("vm_hwm_kb", vm_hwm_kb().map(|v| Json::Num(v as f64)).unwrap_or(Json::Null));
+    report.set("presets", preset_objs);
+    report
+}
+
+/// Checks that every preset object under `presets` reports every sampler.
+fn validate_presets(presets: &Json, context: &str, errors: &mut Vec<String>) {
+    let Some(entries) = presets.as_obj() else {
+        errors.push(format!("{context}: \"presets\" is not an object"));
+        return;
+    };
+    if entries.is_empty() {
+        errors.push(format!("{context}: no presets recorded"));
+    }
+    for (preset, obj) in entries {
+        let Some(samplers) = obj.get("samplers") else {
+            errors.push(format!("{context}/{preset}: missing \"samplers\""));
+            continue;
+        };
+        for name in SAMPLER_NAMES {
+            let Some(s) = samplers.get(name) else {
+                errors.push(format!("{context}/{preset}: sampler {name:?} missing"));
+                continue;
+            };
+            if s.get("tokens_per_sec_wall").and_then(Json::as_f64).is_none() {
+                errors.push(format!(
+                    "{context}/{preset}/{name}: missing numeric tokens_per_sec_wall"
+                ));
+            }
+        }
+    }
+}
+
+fn validate_file(path: &str) -> Result<(), Vec<String>> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| vec![format!("cannot read {path}: {e}")])?;
+    let doc = Json::parse(&text).map_err(|e| vec![format!("{path} is not valid JSON: {e}")])?;
+    let mut errors = Vec::new();
+    if let Some(runs) = doc.get("runs") {
+        match runs.as_obj() {
+            Some(entries) if !entries.is_empty() => {
+                for (label, run) in entries {
+                    match run.get("presets") {
+                        Some(p) => validate_presets(p, label, &mut errors),
+                        None => errors.push(format!("run {label:?}: missing \"presets\"")),
+                    }
+                }
+            }
+            _ => errors.push("\"runs\" must be a non-empty object".to_string()),
+        }
+    } else if let Some(presets) = doc.get("presets") {
+        validate_presets(presets, "report", &mut errors);
+    } else {
+        errors.push("file has neither \"runs\" nor \"presets\"".to_string());
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn write_report(report: Json, out: &str, label: Option<&str>) {
+    let document = match label {
+        None => report,
+        Some(label) => {
+            // Merging must never silently clobber an existing trajectory:
+            // if the target exists it has to parse as one, otherwise the
+            // "before" runs this file exists to preserve would be lost.
+            let mut doc = match std::fs::read_to_string(out) {
+                Err(_) => {
+                    let mut d = Json::obj();
+                    d.set("schema", Json::Str("warplda-perf-trajectory/1".into()));
+                    d.set("runs", Json::obj());
+                    d
+                }
+                Ok(text) => match Json::parse(&text) {
+                    Ok(d) if d.get("runs").is_some() => d,
+                    Ok(_) => {
+                        eprintln!(
+                            "[perf_report] {out} exists but is not a trajectory file \
+                             (no \"runs\" key); refusing to overwrite it"
+                        );
+                        std::process::exit(2);
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "[perf_report] {out} exists but is not valid JSON ({e}); \
+                             refusing to overwrite it"
+                        );
+                        std::process::exit(2);
+                    }
+                },
+            };
+            let mut runs = doc.get("runs").cloned().unwrap_or_else(Json::obj);
+            runs.set(label, report);
+            doc.set("runs", runs);
+            doc
+        }
+    };
+    if let Some(parent) = std::path::Path::new(out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(out, document.render()).expect("write perf report");
+    println!("[perf_report] wrote {out}");
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--validate") {
+        // A bare `--validate` must fail loudly, not fall through to a full
+        // (minutes-long) measurement run that would make a CI validation
+        // step pass vacuously.
+        let Some(path) = arg_value(&args, "--validate") else {
+            eprintln!("[perf_report] --validate requires a file path");
+            std::process::exit(2);
+        };
+        match validate_file(&path) {
+            Ok(()) => println!("[perf_report] {path}: schema OK (all samplers present)"),
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("[perf_report] {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let mode = if args.iter().any(|a| a == "--tiny") {
+        "tiny"
+    } else if args.iter().any(|a| a == "--full") {
+        "full"
+    } else {
+        "default"
+    };
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "target/perf_report.json".to_string());
+    let label = arg_value(&args, "--label");
+
+    let report = build_report(mode);
+    write_report(report, &out, label.as_deref());
+}

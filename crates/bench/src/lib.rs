@@ -19,6 +19,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod json;
+
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;

@@ -7,12 +7,17 @@
 //!
 //! Two implementations share the [`TopicCounts`] interface:
 //!
-//! * [`HashCounts`] — the paper's open-addressing table;
+//! * [`HashCounts`] — the paper's open-addressing table, with an
+//!   occupied-slot list so clearing and iteration cost O(distinct topics)
+//!   rather than O(capacity);
 //! * [`DenseCounts`] — a plain `Vec<u32>` with a touched-topic list so
 //!   clearing stays proportional to the number of distinct topics, used when
 //!   `2·L ≥ K` (and by the ablation benchmark).
-
-use serde::{Deserialize, Serialize};
+//!
+//! The sampling hot paths never construct these per document/word: a
+//! [`CountPool`] keeps one reusable table per capacity class (plus one dense
+//! vector) per worker, so steady-state iterations perform no heap
+//! allocation.
 
 /// Common interface of the count-vector implementations.
 pub trait TopicCounts {
@@ -49,12 +54,15 @@ pub trait TopicCounts {
 /// The capacity is a power of two; the hash is the multiplicative Fibonacci
 /// hash (the paper uses "a simple and function", i.e. masking — Fibonacci
 /// hashing keeps that cost while behaving better on consecutive topic ids).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HashCounts {
     /// Slot keys; `u32::MAX` marks an empty slot.
     keys: Vec<u32>,
     /// Slot values.
     values: Vec<u32>,
+    /// Slots holding a live key, in insertion order: clearing and iteration
+    /// touch O(distinct topics) memory instead of the whole table.
+    occupied: Vec<u32>,
     mask: usize,
     len: usize,
     total: u64,
@@ -63,18 +71,28 @@ pub struct HashCounts {
 const EMPTY: u32 = u32::MAX;
 
 impl HashCounts {
-    /// Creates a table sized for `expected` distinct topics, capped at
-    /// `num_topics` (the paper's `min{K, 2·L}` rule, rounded to a power of two).
+    /// Creates a table sized for `expected` distinct topics by the paper's
+    /// rule (Section 5.4): the minimum power of two above `min{K, 2·L}`.
     pub fn with_expected(expected: usize, num_topics: usize) -> Self {
-        let target = expected.saturating_mul(2).min(num_topics.saturating_mul(2)).max(4);
-        let capacity = target.next_power_of_two();
+        let capacity = Self::capacity_for(expected, num_topics);
         Self {
             keys: vec![EMPTY; capacity],
             values: vec![0; capacity],
+            occupied: Vec::with_capacity(capacity),
             mask: capacity - 1,
             len: 0,
             total: 0,
         }
+    }
+
+    /// The paper's sizing rule: the minimum power of two that accommodates
+    /// `min{K, 2·L}` entries, where `L` is the expected number of distinct
+    /// topics (the row/column length). A sparse count vector holds at most
+    /// `min{K, L}` distinct topics, so this capacity keeps the load factor at
+    /// or below 1/2 without ever growing — while staying a factor of two
+    /// smaller in the worst case than capping at `2·K`.
+    pub fn capacity_for(expected: usize, num_topics: usize) -> usize {
+        num_topics.min(expected.saturating_mul(2)).max(4).next_power_of_two()
     }
 
     /// Current slot capacity.
@@ -105,6 +123,7 @@ impl HashCounts {
         let new_capacity = self.keys.len() * 2;
         self.keys = vec![EMPTY; new_capacity];
         self.values = vec![0; new_capacity];
+        self.occupied = Vec::with_capacity(new_capacity);
         self.mask = new_capacity - 1;
         self.len = 0;
         self.total = 0;
@@ -141,6 +160,7 @@ impl TopicCounts for HashCounts {
             }
             self.keys[slot] = topic;
             self.values[slot] = delta as u32;
+            self.occupied.push(slot as u32);
             self.len += 1;
             self.total += delta as u64;
             return;
@@ -162,22 +182,26 @@ impl TopicCounts for HashCounts {
     }
 
     fn clear(&mut self) {
-        self.keys.fill(EMPTY);
-        self.values.fill(0);
+        for &slot in &self.occupied {
+            self.keys[slot as usize] = EMPTY;
+            self.values[slot as usize] = 0;
+        }
+        self.occupied.clear();
         self.len = 0;
         self.total = 0;
     }
 
     fn for_each(&self, mut f: impl FnMut(u32, u32)) {
-        for (i, &k) in self.keys.iter().enumerate() {
-            if k != EMPTY && self.values[i] > 0 {
-                f(k, self.values[i]);
+        for &slot in &self.occupied {
+            let v = self.values[slot as usize];
+            if v > 0 {
+                f(self.keys[slot as usize], v);
             }
         }
     }
 
     fn num_nonzero(&self) -> usize {
-        self.keys.iter().zip(&self.values).filter(|&(&k, &v)| k != EMPTY && v > 0).count()
+        self.occupied.iter().filter(|&&slot| self.values[slot as usize] > 0).count()
     }
 
     fn total(&self) -> u64 {
@@ -186,7 +210,7 @@ impl TopicCounts for HashCounts {
 }
 
 /// Dense count vector with a touched list for cheap clearing.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DenseCounts {
     values: Vec<u32>,
     /// Topics that have been touched since the last clear (each listed once).
@@ -270,7 +294,7 @@ impl TopicCounts for DenseCounts {
 
 /// A count vector that picks the hash or dense representation depending on the
 /// expected number of distinct topics (the paper's `min{K, 2L}` heuristic).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum CountVector {
     /// Hash-table backed (sparse) counts.
     Hash(HashCounts),
@@ -331,6 +355,57 @@ impl TopicCounts for CountVector {
             CountVector::Hash(h) => h.total(),
             CountVector::Dense(d) => d.total(),
         }
+    }
+}
+
+/// A per-worker pool of reusable count vectors: one [`DenseCounts`] over all
+/// topics plus one [`HashCounts`] per power-of-two capacity class.
+///
+/// The sampling hot paths ask for a cleared table per document/word; the pool
+/// hands back the cached instance of the right class instead of allocating.
+/// Classes are built on first use, and because a row/column's length — and
+/// therefore its class — never changes, every class a corpus needs exists
+/// after one full pass: steady-state iterations hit only cached tables.
+#[derive(Debug)]
+pub struct CountPool {
+    num_topics: usize,
+    dense: DenseCounts,
+    /// `hash[c]` has capacity `1 << c`.
+    hash: Vec<Option<HashCounts>>,
+}
+
+impl CountPool {
+    /// A pool for count vectors over `num_topics` topics.
+    pub fn new(num_topics: usize) -> Self {
+        // Largest class the sizing rule can ever yield for this K.
+        let max_class = HashCounts::capacity_for(usize::MAX / 2, num_topics).trailing_zeros();
+        Self {
+            num_topics,
+            dense: DenseCounts::new(num_topics),
+            hash: (0..=max_class).map(|_| None).collect(),
+        }
+    }
+
+    /// Returns `true` when the paper's heuristic picks the hash
+    /// representation for a row/column of `len` entries (`2·L < K`).
+    pub fn prefers_hash(&self, len: usize) -> bool {
+        len.saturating_mul(2) < self.num_topics
+    }
+
+    /// The cleared dense vector over all topics.
+    pub fn dense(&mut self) -> &mut DenseCounts {
+        self.dense.clear();
+        &mut self.dense
+    }
+
+    /// A cleared hash table sized by the paper's rule for a row/column of
+    /// `len` entries.
+    pub fn hash_for(&mut self, len: usize) -> &mut HashCounts {
+        let class = HashCounts::capacity_for(len, self.num_topics).trailing_zeros() as usize;
+        let table =
+            self.hash[class].get_or_insert_with(|| HashCounts::with_expected(len, self.num_topics));
+        table.clear();
+        table
     }
 }
 
@@ -406,7 +481,65 @@ mod tests {
         assert!(h.capacity().is_power_of_two());
         assert!(h.capacity() >= 200);
         let h = HashCounts::with_expected(1_000_000, 64);
-        assert!(h.capacity() <= 256, "capacity should be bounded by ~2K, got {}", h.capacity());
+        assert!(h.capacity() <= 64, "capacity should be bounded by K, got {}", h.capacity());
+    }
+
+    #[test]
+    fn capacity_follows_the_papers_min_k_2l_rule() {
+        // Section 5.4: "the capacity is set to the minimum power of 2 that is
+        // larger than min{K, 2·L_d}". In particular the bound is K — not the
+        // 2·K an earlier revision used, which doubled the worst-case table.
+        assert_eq!(HashCounts::capacity_for(10, 1024), 32); // 2L = 20 -> 32
+        assert_eq!(HashCounts::capacity_for(600, 1024), 1024); // min{1024, 1200}
+        assert_eq!(HashCounts::capacity_for(1_000_000, 64), 64); // min{64, 2M}
+        assert_eq!(HashCounts::capacity_for(0, 1024), 4); // floor of 4 slots
+        assert_eq!(HashCounts::capacity_for(33, 1024), 128); // 2L = 66 -> 128
+        for (expected, k) in [(3usize, 7usize), (100, 1000), (7, 8), (1, 2)] {
+            let cap = HashCounts::capacity_for(expected, k);
+            assert!(cap.is_power_of_two());
+            assert!(cap >= k.min(2 * expected).max(4));
+            assert!(cap < 2 * k.min(2 * expected).max(4).next_power_of_two());
+            assert_eq!(HashCounts::with_expected(expected, k).capacity(), cap);
+        }
+    }
+
+    #[test]
+    fn sized_by_rule_tables_never_grow_in_sparse_use() {
+        // When the auto heuristic picks the hash representation (2L < K),
+        // a column of length L holds at most L distinct topics; the paper's
+        // capacity must absorb all of them without a resize.
+        for l in [1usize, 5, 31, 32, 100] {
+            let k = 4 * l + 2; // ensures 2L < K
+            let mut h = HashCounts::with_expected(l, k);
+            let initial = h.capacity();
+            for t in 0..l as u32 {
+                h.increment(t * 3 + 1);
+            }
+            assert_eq!(h.capacity(), initial, "L = {l} must not trigger growth");
+            assert_eq!(h.num_nonzero(), l);
+        }
+    }
+
+    #[test]
+    fn count_pool_reuses_tables_per_class() {
+        let mut pool = CountPool::new(1024);
+        assert!(pool.prefers_hash(10));
+        assert!(!pool.prefers_hash(512));
+        let cap_small = {
+            let h = pool.hash_for(10);
+            h.increment(3);
+            h.capacity()
+        };
+        assert_eq!(cap_small, HashCounts::capacity_for(10, 1024));
+        // Same class comes back cleared, same capacity (same instance).
+        let h = pool.hash_for(12); // 2·12 = 24 -> same class as 2·10 = 20
+        assert_eq!(h.capacity(), cap_small);
+        assert_eq!(h.num_nonzero(), 0, "pool must hand back cleared tables");
+        // A different class is a different table.
+        assert_ne!(pool.hash_for(500).capacity(), cap_small);
+        // The dense vector also comes back cleared.
+        pool.dense().increment(7);
+        assert_eq!(pool.dense().get(7), 0);
     }
 
     #[test]

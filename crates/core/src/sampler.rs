@@ -30,6 +30,22 @@ pub trait Sampler {
     /// Current topic assignments, in document-major token order.
     fn assignments(&self) -> Vec<u32>;
 
+    /// Seconds the sampler spent inside its sampling phases during the most
+    /// recent [`run_iteration`](Self::run_iteration), measured by the sampler
+    /// itself, when it keeps phase clocks (WarpLDA serial and parallel do).
+    ///
+    /// The harness wall clock around `run_iteration` additionally includes
+    /// whatever bookkeeping the caller does between starting its timer and
+    /// the phase entry (snapshotting, logging, checkpoint scheduling), so
+    /// throughput derived from it mixes harness overhead into the sampler's
+    /// number. Phase time excludes that overhead; perf reports record both.
+    /// Both clocks are wall time, so CPU contention from other threads of
+    /// the process (e.g. an overlapped evaluation worker on a
+    /// core-constrained machine) still shows up in either.
+    fn last_iteration_phase_seconds(&self) -> Option<f64> {
+        None
+    }
+
     /// Borrowed view of the current assignments in document-major token
     /// order, when the sampler stores them contiguously in that order.
     ///

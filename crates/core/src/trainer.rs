@@ -132,10 +132,27 @@ pub struct IterationRecord {
     /// Cumulative sampling seconds up to and including this iteration
     /// (excludes evaluation — overlapped or not).
     pub seconds: f64,
-    /// Sampling throughput of this iteration, tokens/second.
+    /// Sampling throughput of this iteration, tokens/second, derived from
+    /// the trainer's wall clock around `run_iteration`.
     pub tokens_per_sec: f64,
+    /// Seconds this iteration spent inside the sampler's own phases, when
+    /// the sampler measures them ([`Sampler::last_iteration_phase_seconds`]).
+    /// Unlike `seconds`/`tokens_per_sec` this excludes trainer bookkeeping
+    /// (snapshotting, logging, checkpoint scheduling). It is still wall
+    /// time: CPU stolen by other threads of the process — e.g. the
+    /// overlapped evaluation worker on a core-constrained machine — affects
+    /// both clocks equally.
+    pub phase_seconds: Option<f64>,
     /// Log joint likelihood after this iteration, when evaluated.
     pub log_likelihood: Option<f64>,
+}
+
+impl IterationRecord {
+    /// Phase-time-only throughput of this iteration, tokens/second, when the
+    /// sampler reported its phase clock.
+    pub fn phase_tokens_per_sec(&self, tokens_per_iteration: u64) -> Option<f64> {
+        self.phase_seconds.map(|s| tokens_per_iteration as f64 / s.max(1e-12))
+    }
 }
 
 /// The per-iteration history of a training run: the one report format shared
@@ -201,6 +218,20 @@ impl IterationLog {
     pub fn mean_tokens_per_sec(&self) -> f64 {
         let total = self.total_seconds();
         self.tokens_per_iteration as f64 * self.records.len() as f64 / total.max(1e-12)
+    }
+
+    /// Mean *phase-time-only* throughput over the iterations that reported a
+    /// phase clock, tokens/second. `None` when no record carries one.
+    pub fn mean_phase_tokens_per_sec(&self) -> Option<f64> {
+        let mut secs = 0.0;
+        let mut n = 0u64;
+        for r in &self.records {
+            if let Some(s) = r.phase_seconds {
+                secs += s;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| self.tokens_per_iteration as f64 * n as f64 / secs.max(1e-12))
     }
 
     /// First evaluated iteration whose likelihood reaches `target`, if any.
@@ -460,6 +491,7 @@ impl<'a> Trainer<'a> {
                     iteration,
                     seconds: sampling_secs,
                     tokens_per_sec: tokens_per_iter as f64 / iter_secs.max(1e-12),
+                    phase_seconds: sampler.last_iteration_phase_seconds(),
                     log_likelihood: None,
                 });
 
@@ -554,6 +586,11 @@ mod tests {
         assert!(log.total_seconds() > 0.0);
         assert!(log.mean_tokens_per_sec() > 0.0);
         assert_eq!(log.csv_rows().len(), 3);
+        // WarpLDA keeps phase clocks, so every record must carry the
+        // phase-time-only view and it must never exceed the wall measurement.
+        assert!(log.records().iter().all(|r| r.phase_seconds.is_some()));
+        let phase_tps = log.mean_phase_tokens_per_sec().expect("phase clocks present");
+        assert!(phase_tps >= log.mean_tokens_per_sec());
     }
 
     #[test]
@@ -647,6 +684,7 @@ mod tests {
                 iteration: it,
                 seconds: it as f64,
                 tokens_per_sec: 100.0,
+                phase_seconds: Some(0.5),
                 log_likelihood: Some(ll),
             });
         }
@@ -654,5 +692,7 @@ mod tests {
         assert_eq!(log.seconds_to_reach(-60.0), Some(2.0));
         assert_eq!(log.iterations_to_reach(0.0), None);
         assert_eq!(log.likelihood_at(3), Some(-25.0));
+        assert_eq!(log.records()[0].phase_tokens_per_sec(100), Some(200.0));
+        assert_eq!(log.mean_phase_tokens_per_sec(), Some(200.0));
     }
 }

@@ -2,9 +2,12 @@
 //! randomly accessed memory per document/word is a single O(K) vector.
 //!
 //! The sampler is built directly on the [`warplda_sparse::TokenMatrix`]
-//! framework of Section 5: the only persistent per-token state is the entry
-//! data (the current topic assignment) plus `M` topic proposals per token kept
-//! in a flat side array indexed by entry id. Neither `Cd` nor `Cw` is ever
+//! framework of Section 5, used structure-only (offsets and row pointers);
+//! the per-token state lives in a [`PackedRecords`] buffer: one interleaved
+//! record per entry holding the current topic assignment followed by the `M`
+//! pending MH proposals. Assignment and proposals are always read and written
+//! together, so packing them makes each token touch a single sequential
+//! stream instead of two parallel ones. Neither `Cd` nor `Cw` is ever
 //! materialized — each row/column count vector is recomputed on the fly while
 //! its document/word is being visited and discarded afterwards (Section 4.4,
 //! M-step).
@@ -24,6 +27,13 @@
 //! The global vector `c_k` is re-accumulated during each phase and swapped in
 //! at the phase boundary (delayed update), which is what makes the reordering
 //! legal.
+//!
+//! Steady-state iterations perform **no heap allocation**: the count vectors
+//! come from a per-sampler [`CountPool`], the word-proposal alias table is
+//! rebuilt in place ([`SparseAliasTable::rebuild`]), and all buffers are
+//! pre-sized at construction for the largest row/column of the corpus. The
+//! first iteration populates the pool's capacity classes; everything after it
+//! runs allocation-free (pinned by the `zero_alloc` integration suite).
 
 pub mod parallel;
 
@@ -32,11 +42,11 @@ use rand::Rng;
 
 use warplda_cachesim::{MemoryProbe, NoProbe, RegionId};
 use warplda_corpus::{Corpus, DocMajorView};
-use warplda_sampling::{new_rng, Dice, SparseAliasTable};
-use warplda_sparse::TokenMatrix;
+use warplda_sampling::{new_rng, AliasBuildScratch, Dice, SparseAliasTable};
+use warplda_sparse::{PackedRecords, TokenMatrix};
 
 use crate::checkpoint::{self, Checkpointable};
-use crate::counts::{CountVector, TopicCounts};
+use crate::counts::{CountPool, TopicCounts};
 use crate::params::ModelParams;
 use crate::sampler::Sampler;
 use warplda_corpus::io::codec::{CodecError, CodecResult, Decoder, Encoder};
@@ -67,14 +77,44 @@ impl WarpLdaConfig {
     }
 }
 
+/// Reusable per-phase working state: pooled count vectors plus the
+/// word-proposal alias table and its build buffers, all pre-sized so
+/// steady-state iterations allocate nothing. The serial sampler owns one;
+/// the parallel driver owns one per worker.
+pub(crate) struct PhaseScratch {
+    /// Pooled `c_d` / `c_w` count vectors.
+    pub counts: CountPool,
+    /// `(topic, count)` pairs of the current word, staged for the alias build.
+    pub pairs: Vec<(u32, f64)>,
+    /// The word-proposal alias table, rebuilt in place per word.
+    pub alias: SparseAliasTable,
+    /// Worklists of the in-place alias build.
+    pub alias_build: AliasBuildScratch,
+}
+
+impl PhaseScratch {
+    /// Scratch for `num_topics` topics where no row/column exceeds
+    /// `max_len` entries (so at most `min{K, max_len}` distinct topics).
+    pub fn new(num_topics: usize, max_len: usize) -> Self {
+        let cap = num_topics.min(max_len).max(1);
+        Self {
+            counts: CountPool::new(num_topics),
+            pairs: Vec::with_capacity(cap),
+            alias: SparseAliasTable::with_capacity(cap),
+            alias_build: AliasBuildScratch::with_capacity(cap),
+        }
+    }
+}
+
 /// The WarpLDA sampler, generic over an optional memory probe.
 pub struct WarpLda<P: MemoryProbe = NoProbe> {
     params: ModelParams,
     config: WarpLdaConfig,
-    /// D × V matrix; entry data = current topic assignment of that token.
-    matrix: TokenMatrix<u32>,
-    /// `M` proposals per entry, `proposals[entry * M + i]`.
-    proposals: Vec<u32>,
+    /// D × V matrix, structure only (offsets + row pointers; no entry data).
+    matrix: TokenMatrix<()>,
+    /// Packed per-entry records `[z | M proposals]`, stride `M + 1`, indexed
+    /// by entry id (CSC position).
+    records: PackedRecords,
     /// Global topic counts used (read-only) during the current phase.
     topic_counts: Vec<u32>,
     /// Global topic counts being accumulated for the next phase.
@@ -85,6 +125,13 @@ pub struct WarpLda<P: MemoryProbe = NoProbe> {
     iterations: u64,
     beta_bar: f64,
     vocab_size: usize,
+    /// Largest row or column of the corpus; sizes phase/worker scratch.
+    max_visit_len: usize,
+    scratch: PhaseScratch,
+    /// Wall seconds of the most recent word phase.
+    last_word_phase_secs: f64,
+    /// Wall seconds of the most recent doc phase.
+    last_doc_phase_secs: f64,
     probe: P,
     region_cd: RegionId,
     region_cw: RegionId,
@@ -101,10 +148,10 @@ impl WarpLda<NoProbe> {
 impl<P: MemoryProbe> WarpLda<P> {
     /// Creates a sampler whose count-vector accesses are reported to `probe`.
     ///
-    /// Only the count structures are probed (`c_d`, `c_w`, `c_k`): the token
-    /// and proposal arrays are scanned strictly sequentially by construction
-    /// and are therefore irrelevant to the random-access analysis of
-    /// Sections 3 and 6 (Table 2 lists no sequential-access term for WarpLDA).
+    /// Only the count structures are probed (`c_d`, `c_w`, `c_k`): the packed
+    /// token records are scanned strictly sequentially by construction and
+    /// are therefore irrelevant to the random-access analysis of Sections 3
+    /// and 6 (Table 2 lists no sequential-access term for WarpLDA).
     pub fn with_probe(
         corpus: &Corpus,
         params: ModelParams,
@@ -117,6 +164,7 @@ impl<P: MemoryProbe> WarpLda<P> {
         let num_docs = corpus.num_docs();
         let vocab_size = corpus.vocab_size();
         let k = params.num_topics;
+        let m = config.mh_steps;
 
         // Build the token matrix: one entry per token, in doc-major order so
         // the row slices keep the original token order.
@@ -126,11 +174,11 @@ impl<P: MemoryProbe> WarpLda<P> {
                 entries.push((d as u32, doc_view.word_of(i)));
             }
         }
-        let mut matrix: TokenMatrix<u32> =
-            TokenMatrix::from_entries(num_docs, vocab_size, &entries);
+        let matrix: TokenMatrix<()> = TokenMatrix::from_entries(num_docs, vocab_size, &entries);
+        let num_entries = matrix.num_entries();
 
         // Map each doc-major token index to its entry id.
-        let mut entry_of_token = vec![0u32; doc_view.num_tokens()];
+        let mut entry_of_token = vec![0u32; num_entries];
         {
             let mut cursor = 0usize;
             for d in 0..num_docs {
@@ -141,16 +189,24 @@ impl<P: MemoryProbe> WarpLda<P> {
             }
         }
 
-        // Random initial topics + proposals.
+        let max_col_len = (0..vocab_size).map(|w| matrix.col_len(w as u32)).max().unwrap_or(0);
+        let max_row_len = (0..num_docs).map(|d| matrix.row_len(d as u32)).max().unwrap_or(0);
+        let max_visit_len = max_col_len.max(max_row_len);
+
+        // Random initial topics + proposals, packed per entry.
         let mut rng = new_rng(seed);
+        let mut records = PackedRecords::new(num_entries, m + 1);
         let mut topic_counts = vec![0u32; k];
-        for z in matrix.data_mut() {
+        for e in 0..num_entries {
             let t = rng.dice(k) as u32;
-            *z = t;
+            records.set_primary(e, t);
             topic_counts[t as usize] += 1;
         }
-        let proposals: Vec<u32> =
-            (0..doc_view.num_tokens() * config.mh_steps).map(|_| rng.dice(k) as u32).collect();
+        for e in 0..num_entries {
+            for slot in &mut records.record_mut(e)[1..] {
+                *slot = rng.dice(k) as u32;
+            }
+        }
 
         let region_cd = probe.register_region("cd vector", k, 4);
         let region_cw = probe.register_region("cw vector", k, 4);
@@ -160,7 +216,7 @@ impl<P: MemoryProbe> WarpLda<P> {
             params,
             config,
             matrix,
-            proposals,
+            records,
             topic_counts,
             next_topic_counts: vec![0u32; k],
             entry_of_token,
@@ -168,6 +224,10 @@ impl<P: MemoryProbe> WarpLda<P> {
             iterations: 0,
             beta_bar: params.beta_bar(vocab_size),
             vocab_size,
+            max_visit_len,
+            scratch: PhaseScratch::new(k, max_visit_len),
+            last_word_phase_secs: 0.0,
+            last_doc_phase_secs: 0.0,
             probe,
             region_cd,
             region_cw,
@@ -190,9 +250,10 @@ impl<P: MemoryProbe> WarpLda<P> {
         &self.topic_counts
     }
 
-    /// Access to the underlying token matrix (read-only).
-    pub fn matrix(&self) -> &TokenMatrix<u32> {
-        &self.matrix
+    /// Wall seconds of the most recent `(word phase, doc phase)`, measured
+    /// inside [`run_iteration`](Sampler::run_iteration).
+    pub fn last_phase_seconds(&self) -> (f64, f64) {
+        (self.last_word_phase_secs, self.last_doc_phase_secs)
     }
 
     /// Swaps in the freshly accumulated `c_k` at a phase boundary.
@@ -209,84 +270,39 @@ impl<P: MemoryProbe> WarpLda<P> {
         let beta = self.params.beta;
         let beta_bar = self.beta_bar;
         let use_hash = self.config.use_hash_counts;
-
-        let Self { matrix, proposals, topic_counts, next_topic_counts, rng, probe, .. } = self;
         let region_cw = self.region_cw;
         let region_ck = self.region_ck;
 
-        matrix.visit_by_column(|_w, mut col| {
-            let len = col.len();
+        let Self { matrix, records, topic_counts, next_topic_counts, rng, probe, scratch, .. } =
+            self;
+
+        for w in 0..matrix.num_cols() as u32 {
+            let range = matrix.col_entry_range(w);
+            let len = range.len();
             if len == 0 {
-                return;
+                continue;
             }
             probe.begin_scope();
-            // c_w on the fly.
-            let mut cw = if use_hash {
-                CountVector::auto(len, k)
-            } else {
-                CountVector::Dense(crate::counts::DenseCounts::new(k))
-            };
-            for n in 0..len {
-                let t = *col.get(n);
-                cw.increment(t);
-                probe.write(region_cw, t as usize);
-            }
-
-            // Simulate the q_doc chains with the proposals drawn last doc phase.
-            for n in 0..len {
-                let entry = col.entry_id(n) as usize;
-                let mut z = *col.get(n);
-                for i in 0..m {
-                    let t = proposals[entry * m + i];
-                    if t != z {
-                        probe.read(region_cw, t as usize);
-                        probe.read(region_cw, z as usize);
-                        probe.read(region_ck, t as usize);
-                        probe.read(region_ck, z as usize);
-                        let ratio = (cw.get(t) as f64 + beta) / (cw.get(z) as f64 + beta)
-                            * (topic_counts[z as usize] as f64 + beta_bar)
-                            / (topic_counts[t as usize] as f64 + beta_bar);
-                        if ratio >= 1.0 || rng.gen::<f64>() < ratio {
-                            z = t;
-                        }
-                    }
-                }
-                *col.get_mut(n) = z;
-            }
-
-            // Recompute c_w from the updated assignments (Algorithm 2 "Update Cwk"),
-            // accumulate it into the next c_k, and build the alias table of
-            // q_word(k) ∝ C_wk + β.
-            cw.clear();
-            for n in 0..len {
-                let t = *col.get(n);
-                cw.increment(t);
-                probe.write(region_cw, t as usize);
-                next_topic_counts[t as usize] += 1;
-            }
-            let pairs = cw.to_pairs();
-            let alias = SparseAliasTable::new(
-                &pairs.iter().map(|&(t, c)| (t, c as f64)).collect::<Vec<_>>(),
+            // A column's records are one contiguous block: the whole visit is
+            // a single sequential stream over `len * (M + 1)` words.
+            let block = records.block_mut(range);
+            process_word_column(
+                block,
+                m,
+                k,
+                beta,
+                beta_bar,
+                topic_counts,
+                next_topic_counts,
+                scratch,
+                use_hash,
+                rng,
+                probe,
+                region_cw,
+                region_ck,
             );
-            // Mixture weights of q_word: counts part (mass L_w) vs smoothing
-            // part (mass K·β).
-            let count_mass = len as f64;
-            let smooth_mass = k as f64 * beta;
-            let p_count = count_mass / (count_mass + smooth_mass);
-
-            for n in 0..len {
-                let entry = col.entry_id(n) as usize;
-                for i in 0..m {
-                    let t = if rng.gen::<f64>() < p_count {
-                        alias.sample(rng)
-                    } else {
-                        rng.dice(k) as u32
-                    };
-                    proposals[entry * m + i] = t;
-                }
-            }
             probe.end_scope();
-        });
+        }
 
         self.swap_topic_counts();
     }
@@ -295,85 +311,369 @@ impl<P: MemoryProbe> WarpLda<P> {
     /// producing doc proposals.
     fn doc_phase(&mut self) {
         let k = self.params.num_topics;
-        let m = self.config.mh_steps;
         let alpha = self.params.alpha;
         let alpha_bar = self.params.alpha_bar();
         let beta_bar = self.beta_bar;
         let use_hash = self.config.use_hash_counts;
-
-        let Self { matrix, proposals, topic_counts, next_topic_counts, rng, probe, .. } = self;
         let region_cd = self.region_cd;
         let region_ck = self.region_ck;
 
-        matrix.visit_by_row(|_d, mut row| {
-            let len = row.len();
+        let Self { matrix, records, topic_counts, next_topic_counts, rng, probe, scratch, .. } =
+            self;
+        let recs = RecPtr::new(records);
+
+        for d in 0..matrix.num_rows() as u32 {
+            let entries = matrix.row_entry_ids(d);
+            let len = entries.len();
             if len == 0 {
-                return;
+                continue;
             }
             probe.begin_scope();
-            // c_d on the fly.
-            let mut cd = if use_hash {
-                CountVector::auto(len, k)
-            } else {
-                CountVector::Dense(crate::counts::DenseCounts::new(k))
-            };
-            for n in 0..len {
-                let t = *row.get(n);
-                cd.increment(t);
-                probe.write(region_cd, t as usize);
-            }
-
-            // Simulate the q_word chains with the proposals drawn last word phase.
-            for n in 0..len {
-                let entry = row.entry_id(n) as usize;
-                let mut z = *row.get(n);
-                for i in 0..m {
-                    let t = proposals[entry * m + i];
-                    if t != z {
-                        probe.read(region_cd, t as usize);
-                        probe.read(region_cd, z as usize);
-                        probe.read(region_ck, t as usize);
-                        probe.read(region_ck, z as usize);
-                        let ratio = (cd.get(t) as f64 + alpha) / (cd.get(z) as f64 + alpha)
-                            * (topic_counts[z as usize] as f64 + beta_bar)
-                            / (topic_counts[t as usize] as f64 + beta_bar);
-                        if ratio >= 1.0 || rng.gen::<f64>() < ratio {
-                            z = t;
-                        }
-                    }
-                }
-                if z != *row.get(n) {
-                    // Keep c_d in sync so the upcoming random positioning reflects
-                    // the updated assignments of this document.
-                    cd.decrement(*row.get(n));
-                    cd.increment(z);
-                }
-                *row.get_mut(n) = z;
-            }
-
-            // Accumulate the updated c_d into the next c_k.
-            cd.for_each(|t, c| next_topic_counts[t as usize] += c);
-
-            // Draw the doc proposals q_doc(k) ∝ C_dk + α by random positioning:
-            // with probability L_d/(L_d + ᾱ) reuse the topic of a uniformly
-            // chosen token of this document, otherwise a uniform topic.
-            let p_count = len as f64 / (len as f64 + alpha_bar);
-            for n in 0..len {
-                let entry = row.entry_id(n) as usize;
-                for i in 0..m {
-                    let t = if rng.gen::<f64>() < p_count {
-                        let pos = rng.dice(len);
-                        *row.get(pos)
-                    } else {
-                        rng.dice(k) as u32
-                    };
-                    proposals[entry * m + i] = t;
-                }
+            // SAFETY: `recs` wraps the exclusively borrowed `records` and this
+            // loop visits each row (disjoint entry sets) once, serially.
+            unsafe {
+                process_doc_row(
+                    entries,
+                    recs,
+                    k,
+                    alpha,
+                    alpha_bar,
+                    beta_bar,
+                    topic_counts,
+                    next_topic_counts,
+                    scratch,
+                    use_hash,
+                    rng,
+                    probe,
+                    region_cd,
+                    region_ck,
+                );
             }
             probe.end_scope();
-        });
+        }
 
         self.swap_topic_counts();
+    }
+}
+
+/// One column of the word phase, shared by the serial and parallel drivers:
+/// recompute `c_w`, run the MH chains over the packed records, accumulate the
+/// updated counts into `next_ck`, rebuild the word-proposal alias table in
+/// place and draw fresh proposals. Picks the hash or dense count
+/// representation per the paper's heuristic, then runs the monomorphized
+/// kernel. Performs no heap allocation once the scratch buffers have grown
+/// to the column's size.
+#[allow(clippy::too_many_arguments)]
+fn process_word_column<P: MemoryProbe>(
+    block: &mut [u32],
+    m: usize,
+    k: usize,
+    beta: f64,
+    beta_bar: f64,
+    ck: &[u32],
+    next_ck: &mut [u32],
+    scratch: &mut PhaseScratch,
+    use_hash: bool,
+    rng: &mut SmallRng,
+    probe: &mut P,
+    region_cw: RegionId,
+    region_ck: RegionId,
+) {
+    let len = block.len() / (m + 1);
+    let PhaseScratch { counts, pairs, alias, alias_build } = scratch;
+    if use_hash && counts.prefers_hash(len) {
+        word_column_kernel(
+            block,
+            m,
+            k,
+            beta,
+            beta_bar,
+            ck,
+            next_ck,
+            counts.hash_for(len),
+            pairs,
+            alias,
+            alias_build,
+            rng,
+            probe,
+            region_cw,
+            region_ck,
+        );
+    } else {
+        word_column_kernel(
+            block,
+            m,
+            k,
+            beta,
+            beta_bar,
+            ck,
+            next_ck,
+            counts.dense(),
+            pairs,
+            alias,
+            alias_build,
+            rng,
+            probe,
+            region_cw,
+            region_ck,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn word_column_kernel<C: TopicCounts, P: MemoryProbe>(
+    block: &mut [u32],
+    m: usize,
+    k: usize,
+    beta: f64,
+    beta_bar: f64,
+    ck: &[u32],
+    next_ck: &mut [u32],
+    cw: &mut C,
+    pairs: &mut Vec<(u32, f64)>,
+    alias: &mut SparseAliasTable,
+    alias_build: &mut AliasBuildScratch,
+    rng: &mut SmallRng,
+    probe: &mut P,
+    region_cw: RegionId,
+    region_ck: RegionId,
+) {
+    let stride = m + 1;
+    debug_assert!(!block.is_empty() && block.len().is_multiple_of(stride));
+    let len = block.len() / stride;
+
+    // c_w on the fly.
+    for rec in block.chunks_exact(stride) {
+        let t = rec[0];
+        cw.increment(t);
+        probe.write(region_cw, t as usize);
+    }
+
+    // Simulate the q_doc chains with the proposals drawn last doc phase.
+    for rec in block.chunks_exact_mut(stride) {
+        let mut z = rec[0];
+        for &t in &rec[1..] {
+            if t != z {
+                probe.read(region_cw, t as usize);
+                probe.read(region_cw, z as usize);
+                probe.read(region_ck, t as usize);
+                probe.read(region_ck, z as usize);
+                let ratio = (cw.get(t) as f64 + beta) / (cw.get(z) as f64 + beta)
+                    * (ck[z as usize] as f64 + beta_bar)
+                    / (ck[t as usize] as f64 + beta_bar);
+                if ratio >= 1.0 || rng.gen::<f64>() < ratio {
+                    z = t;
+                }
+            }
+        }
+        rec[0] = z;
+    }
+
+    // Recompute c_w from the updated assignments (Algorithm 2 "Update Cwk"),
+    // accumulate it into the next c_k, and rebuild the alias table of
+    // q_word(k) ∝ C_wk + β in place.
+    cw.clear();
+    for rec in block.chunks_exact(stride) {
+        let t = rec[0];
+        cw.increment(t);
+        probe.write(region_cw, t as usize);
+        next_ck[t as usize] += 1;
+    }
+    pairs.clear();
+    cw.for_each(|t, c| pairs.push((t, c as f64)));
+    alias.rebuild(pairs, alias_build);
+    // Mixture weights of q_word: counts part (mass L_w) vs smoothing part
+    // (mass K·β).
+    let count_mass = len as f64;
+    let smooth_mass = k as f64 * beta;
+    let p_count = count_mass / (count_mass + smooth_mass);
+
+    for rec in block.chunks_exact_mut(stride) {
+        for slot in &mut rec[1..] {
+            *slot = if rng.gen::<f64>() < p_count { alias.sample(rng) } else { rng.dice(k) as u32 };
+        }
+    }
+}
+
+/// A copyable raw view over packed records for row visits, which reach
+/// entries through the row-pointer indirection. Both the serial driver
+/// (exclusive borrow) and the parallel driver (disjoint rows per worker)
+/// funnel through this so the doc-phase kernel exists once.
+#[derive(Clone, Copy)]
+pub(crate) struct RecPtr {
+    ptr: *mut u32,
+    stride: usize,
+}
+
+// SAFETY: a `RecPtr` is only dereferenced at the entry ids of rows the
+// holding thread owns; the drivers guarantee each row is visited by exactly
+// one thread (see `process_doc_row`).
+unsafe impl Send for RecPtr {}
+unsafe impl Sync for RecPtr {}
+
+impl RecPtr {
+    pub(crate) fn new(records: &mut PackedRecords) -> Self {
+        Self { ptr: records.as_mut_ptr(), stride: records.stride() }
+    }
+
+    #[inline]
+    unsafe fn z(&self, e: u32) -> u32 {
+        *self.ptr.add(e as usize * self.stride)
+    }
+
+    #[inline]
+    unsafe fn set_z(&self, e: u32, v: u32) {
+        *self.ptr.add(e as usize * self.stride) = v;
+    }
+
+    #[inline]
+    unsafe fn proposal(&self, e: u32, i: usize) -> u32 {
+        *self.ptr.add(e as usize * self.stride + 1 + i)
+    }
+
+    #[inline]
+    unsafe fn set_proposal(&self, e: u32, i: usize, v: u32) {
+        *self.ptr.add(e as usize * self.stride + 1 + i) = v;
+    }
+}
+
+/// One row of the doc phase, shared by the serial and parallel drivers:
+/// recompute `c_d`, run the MH chains, accumulate into `next_ck`, draw fresh
+/// doc proposals by random positioning. Picks the hash or dense count
+/// representation per the paper's heuristic, then runs the monomorphized
+/// kernel. Allocation-free.
+///
+/// # Safety
+/// `entries` must be the entry ids of one row of the matrix `recs` was
+/// created from, every id in range, and no other thread may touch those
+/// records for the duration of the call.
+#[allow(clippy::too_many_arguments)]
+unsafe fn process_doc_row<P: MemoryProbe>(
+    entries: &[u32],
+    recs: RecPtr,
+    k: usize,
+    alpha: f64,
+    alpha_bar: f64,
+    beta_bar: f64,
+    ck: &[u32],
+    next_ck: &mut [u32],
+    scratch: &mut PhaseScratch,
+    use_hash: bool,
+    rng: &mut SmallRng,
+    probe: &mut P,
+    region_cd: RegionId,
+    region_ck: RegionId,
+) {
+    let len = entries.len();
+    let counts = &mut scratch.counts;
+    if use_hash && counts.prefers_hash(len) {
+        doc_row_kernel(
+            entries,
+            recs,
+            k,
+            alpha,
+            alpha_bar,
+            beta_bar,
+            ck,
+            next_ck,
+            counts.hash_for(len),
+            rng,
+            probe,
+            region_cd,
+            region_ck,
+        );
+    } else {
+        doc_row_kernel(
+            entries,
+            recs,
+            k,
+            alpha,
+            alpha_bar,
+            beta_bar,
+            ck,
+            next_ck,
+            counts.dense(),
+            rng,
+            probe,
+            region_cd,
+            region_ck,
+        );
+    }
+}
+
+/// # Safety
+/// Same contract as [`process_doc_row`].
+#[allow(clippy::too_many_arguments)]
+unsafe fn doc_row_kernel<C: TopicCounts, P: MemoryProbe>(
+    entries: &[u32],
+    recs: RecPtr,
+    k: usize,
+    alpha: f64,
+    alpha_bar: f64,
+    beta_bar: f64,
+    ck: &[u32],
+    next_ck: &mut [u32],
+    cd: &mut C,
+    rng: &mut SmallRng,
+    probe: &mut P,
+    region_cd: RegionId,
+    region_ck: RegionId,
+) {
+    let len = entries.len();
+    let m = recs.stride - 1;
+
+    // c_d on the fly.
+    for &e in entries {
+        let t = recs.z(e);
+        cd.increment(t);
+        probe.write(region_cd, t as usize);
+    }
+
+    // Simulate the q_word chains with the proposals drawn last word phase.
+    for &e in entries {
+        let old = recs.z(e);
+        let mut cur = old;
+        for i in 0..m {
+            let t = recs.proposal(e, i);
+            if t != cur {
+                probe.read(region_cd, t as usize);
+                probe.read(region_cd, cur as usize);
+                probe.read(region_ck, t as usize);
+                probe.read(region_ck, cur as usize);
+                let ratio = (cd.get(t) as f64 + alpha) / (cd.get(cur) as f64 + alpha)
+                    * (ck[cur as usize] as f64 + beta_bar)
+                    / (ck[t as usize] as f64 + beta_bar);
+                if ratio >= 1.0 || rng.gen::<f64>() < ratio {
+                    cur = t;
+                }
+            }
+        }
+        if cur != old {
+            // Keep c_d in sync so the upcoming random positioning reflects
+            // the updated assignments of this document.
+            cd.decrement(old);
+            cd.increment(cur);
+            recs.set_z(e, cur);
+        }
+    }
+
+    // Accumulate the updated c_d into the next c_k.
+    cd.for_each(|t, c| next_ck[t as usize] += c);
+
+    // Draw the doc proposals q_doc(k) ∝ C_dk + α by random positioning: with
+    // probability L_d/(L_d + ᾱ) reuse the topic of a uniformly chosen token
+    // of this document, otherwise a uniform topic.
+    let p_count = len as f64 / (len as f64 + alpha_bar);
+    for &e in entries {
+        for i in 0..m {
+            let t = if rng.gen::<f64>() < p_count {
+                let pos = rng.dice(len);
+                recs.z(entries[pos])
+            } else {
+                rng.dice(k) as u32
+            };
+            recs.set_proposal(e, i, t);
+        }
     }
 }
 
@@ -388,8 +688,12 @@ impl<P: MemoryProbe> Sampler for WarpLda<P> {
 
     fn run_iteration(&mut self) {
         // Algorithm 2: word phase first, then document phase.
+        let t0 = std::time::Instant::now();
         self.word_phase();
+        self.last_word_phase_secs = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
         self.doc_phase();
+        self.last_doc_phase_secs = t1.elapsed().as_secs_f64();
         self.iterations += 1;
     }
 
@@ -398,8 +702,11 @@ impl<P: MemoryProbe> Sampler for WarpLda<P> {
     }
 
     fn assignments(&self) -> Vec<u32> {
-        let data = self.matrix.data();
-        self.entry_of_token.iter().map(|&e| data[e as usize]).collect()
+        self.entry_of_token.iter().map(|&e| self.records.primary(e as usize)).collect()
+    }
+
+    fn last_iteration_phase_seconds(&self) -> Option<f64> {
+        Some(self.last_word_phase_secs + self.last_doc_phase_secs)
     }
 }
 
@@ -413,8 +720,10 @@ impl<P: MemoryProbe> Checkpointable for WarpLda<P> {
         checkpoint::write_rng(enc, &self.rng)?;
         enc.write_usize(self.config.mh_steps)?;
         enc.write_bool(self.config.use_hash_counts)?;
-        enc.write_u32_slice(self.matrix.data())?;
-        enc.write_u32_slice(&self.proposals)?;
+        // Format v2: the packed records as one interleaved slice
+        // (assignment + M proposals per entry), replacing the v1 pair of
+        // separate assignment/proposal arrays.
+        enc.write_u32_slice(self.records.as_slice())?;
         enc.write_u32_slice(&self.topic_counts)
     }
 
@@ -432,15 +741,24 @@ impl<P: MemoryProbe> Checkpointable for WarpLda<P> {
                 self.config.mh_steps, self.config.use_hash_counts,
             )));
         }
+        let stride = mh_steps + 1;
         let data = dec.read_u32_vec()?;
-        checkpoint::validate_assignments(&data, entries, k)?;
-        let proposals = dec.read_u32_vec()?;
-        checkpoint::validate_assignments(&proposals, entries * mh_steps, k)?;
+        if data.len() != entries * stride {
+            return Err(CodecError::Corrupt(format!(
+                "checkpoint holds {} record words but the corpus needs {} \
+                 ({entries} entries × stride {stride})",
+                data.len(),
+                entries * stride,
+            )));
+        }
+        if let Some(&bad) = data.iter().find(|&&t| t as usize >= k) {
+            return Err(CodecError::Corrupt(format!("record topic {bad} out of range (K = {k})")));
+        }
         let topic_counts = dec.read_u32_vec()?;
         // The delayed-update invariant between iterations: c_k is exactly the
         // topic histogram of the assignments.
         let mut hist = vec![0u32; k];
-        for &t in &data {
+        for &t in data.iter().step_by(stride) {
             hist[t as usize] += 1;
         }
         if topic_counts != hist {
@@ -448,8 +766,7 @@ impl<P: MemoryProbe> Checkpointable for WarpLda<P> {
                 "topic counts do not match the assignment histogram".to_string(),
             ));
         }
-        self.matrix.data_mut().copy_from_slice(&data);
-        self.proposals = proposals;
+        self.records = PackedRecords::from_raw(data, stride);
         self.topic_counts = topic_counts;
         self.next_topic_counts.fill(0);
         self.rng = rng;
@@ -459,11 +776,11 @@ impl<P: MemoryProbe> Checkpointable for WarpLda<P> {
 }
 
 /// Sanity helper shared by the serial and parallel test suites: recomputes the
-/// global topic histogram straight from the matrix.
+/// global topic histogram straight from the packed records.
 #[cfg(test)]
-pub(crate) fn topic_histogram(matrix: &TokenMatrix<u32>, k: usize) -> Vec<u32> {
-    let mut hist = vec![0u32; k];
-    for &t in matrix.data() {
+pub(crate) fn topic_histogram<P: MemoryProbe>(s: &WarpLda<P>) -> Vec<u32> {
+    let mut hist = vec![0u32; s.params.num_topics];
+    for t in s.records.primaries() {
         hist[t as usize] += 1;
     }
     hist
@@ -499,7 +816,7 @@ mod tests {
         let mut s = WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(2), 3);
         for _ in 0..4 {
             s.run_iteration();
-            let hist = topic_histogram(s.matrix(), 5);
+            let hist = topic_histogram(&s);
             assert_eq!(s.topic_counts(), &hist[..], "ck must equal the topic histogram");
             let total: u32 = hist.iter().sum();
             assert_eq!(total as u64, corpus.num_tokens());
@@ -623,6 +940,24 @@ mod tests {
         let stats = s.probe().stats();
         assert!(stats.accesses > 0);
         assert!(stats.l3_miss_rate() < 0.3, "WarpLDA working set should fit the cache: {stats:?}");
+    }
+
+    #[test]
+    fn records_are_packed_with_assignment_then_proposals() {
+        // The layout contract the checkpoint codec and the parallel driver
+        // rely on: stride M + 1, primary word first, one block per column.
+        let corpus = themed_corpus();
+        let params = ModelParams::new(6, 0.5, 0.1);
+        let mut s = WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(3), 23);
+        s.run_iteration();
+        assert_eq!(s.records.stride(), 4);
+        assert_eq!(s.records.num_records() as u64, corpus.num_tokens());
+        assert!(s.records.as_slice().iter().all(|&t| t < 6), "every word is a topic id");
+        // The primaries are exactly the assignments, entry-indexed.
+        let z = s.assignments();
+        for (token, &e) in s.entry_of_token.iter().enumerate() {
+            assert_eq!(z[token], s.records.primary(e as usize));
+        }
     }
 
     #[test]

@@ -3,35 +3,45 @@
 //! WarpLDA parallelizes trivially because workers own disjoint documents
 //! (doc phase) or words (word phase) and the only shared state — the global
 //! topic vector `c_k` — is read-only within a phase and merged at the phase
-//! boundary. This driver reproduces the paper's shared-memory setup:
+//! boundary. This driver reproduces the paper's shared-memory setup with
+//! three deliberate mechanics:
 //!
-//! * **word phase** — each worker owns a contiguous, token-balanced range of
-//!   columns; the CSC data and the proposal array split into disjoint `&mut`
-//!   slices, so this pass is entirely safe code;
-//! * **doc phase** — rows reach their entries through the pointer
-//!   indirection, so workers share a raw pointer to the entry/proposal arrays;
-//!   safety rests on the row-partition being a partition (each entry belongs
-//!   to exactly one row, each row to exactly one worker).
+//! * **Chunked work queue.** Workers pull contiguous column/row chunks from a
+//!   [`ChunkCursor`] instead of receiving a static partition, so the tail
+//!   imbalance a power-law head word leaves in any up-front split disappears:
+//!   whoever finishes early claims the next chunk.
+//! * **Per-entity RNG streams.** Every column (word phase) and row (doc
+//!   phase) derives its own stream from `(seed, iteration, phase, entity)`
+//!   via [`warplda_sampling::split_seed`]. Results therefore do not depend
+//!   on which worker claims which chunk — a run is **bit-identical for any
+//!   thread count**, including one.
+//! * **Striped phase-boundary reduction.** The per-worker partial `c_k`
+//!   vectors are merged by workers owning contiguous topic stripes (falling
+//!   back to an inline merge when `K` is too small to amortize a spawn), so
+//!   the merge scales instead of serializing on one core at every boundary.
 //!
-//! Workers use independent deterministic RNG streams
-//! ([`warplda_sampling::split_seed`]), so a run is reproducible for a fixed
-//! thread count.
+//! Worker scratch (count pools, alias tables, partial `c_k`) persists across
+//! iterations, so apart from the scoped-thread spawns themselves the phases
+//! perform no steady-state heap allocation.
+//!
+//! Sharing the entry data is sound for the same reason as in
+//! [`warplda_sparse::parallel`]: a column's records are a contiguous block
+//! claimed by exactly one worker, and each row's entry ids are touched by
+//! exactly one worker ([`RecPtr`]'s disjointness argument).
 
 use crossbeam::thread;
-use rand::Rng;
 
 use warplda_cachesim::NoProbe;
 use warplda_corpus::Corpus;
-use warplda_sampling::{new_rng, split_seed, Dice, SparseAliasTable};
-use warplda_sparse::{partition_by_size, PartitionStrategy};
+use warplda_sampling::{new_rng, split_seed};
+use warplda_sparse::ChunkCursor;
 
 use crate::checkpoint::Checkpointable;
-use crate::counts::{CountVector, TopicCounts};
 use crate::params::ModelParams;
 use crate::sampler::Sampler;
-use warplda_corpus::io::codec::{CodecError, CodecResult, Decoder, Encoder};
+use warplda_corpus::io::codec::{CodecResult, Decoder, Encoder};
 
-use super::{WarpLda, WarpLdaConfig};
+use super::{process_word_column, PhaseScratch, RecPtr, WarpLda, WarpLdaConfig};
 
 /// A copyable wrapper that lets worker threads share a raw pointer; see the
 /// module docs for the disjointness argument.
@@ -45,11 +55,29 @@ impl<T> Copy for SendPtr<T> {}
 unsafe impl<T> Send for SendPtr<T> {}
 unsafe impl<T> Sync for SendPtr<T> {}
 
+/// Reusable per-worker state: the shared phase scratch plus the worker's
+/// partial `c_k` accumulator. Persists across iterations.
+struct WorkerScratch {
+    partial_ck: Vec<u32>,
+    scratch: PhaseScratch,
+}
+
+impl WorkerScratch {
+    fn new(num_topics: usize, max_len: usize) -> Self {
+        Self { partial_ck: vec![0; num_topics], scratch: PhaseScratch::new(num_topics, max_len) }
+    }
+}
+
 /// Multi-threaded WarpLDA driver (Figure 9a).
 pub struct ParallelWarpLda {
     inner: WarpLda<NoProbe>,
     num_threads: usize,
     seed: u64,
+    workers: Vec<WorkerScratch>,
+    col_cursor: ChunkCursor,
+    row_cursor: ChunkCursor,
+    /// Wall seconds of the most recent (word phase, doc phase).
+    last_phase_secs: (f64, f64),
 }
 
 impl ParallelWarpLda {
@@ -62,7 +90,21 @@ impl ParallelWarpLda {
         num_threads: usize,
     ) -> Self {
         assert!(num_threads >= 1, "need at least one worker thread");
-        Self { inner: WarpLda::new(corpus, params, config, seed), num_threads, seed }
+        let inner = WarpLda::new(corpus, params, config, seed);
+        let workers = (0..num_threads)
+            .map(|_| WorkerScratch::new(params.num_topics, inner.max_visit_len))
+            .collect();
+        let col_cursor = ChunkCursor::for_workers(inner.vocab_size, num_threads);
+        let row_cursor = ChunkCursor::for_workers(inner.matrix.num_rows(), num_threads);
+        Self {
+            inner,
+            num_threads,
+            seed,
+            workers,
+            col_cursor,
+            row_cursor,
+            last_phase_secs: (0.0, 0.0),
+        }
     }
 
     /// Number of worker threads.
@@ -75,257 +117,180 @@ impl ParallelWarpLda {
         &self.inner
     }
 
+    /// Wall seconds of the most recent `(word phase, doc phase)`.
+    pub fn last_phase_seconds(&self) -> (f64, f64) {
+        self.last_phase_secs
+    }
+
     fn parallel_word_phase(&mut self) {
         let k = self.inner.params.num_topics;
         let m = self.inner.config.mh_steps;
+        let stride = m + 1;
         let beta = self.inner.params.beta;
         let beta_bar = self.inner.beta_bar;
         let use_hash = self.inner.config.use_hash_counts;
-        let num_threads = self.num_threads;
-        let vocab_size = self.inner.vocab_size;
-        let iteration = self.inner.iterations;
-        let base_seed = self.seed;
+        // Word-phase stream root for this iteration; per-column streams hang
+        // off it, so results are independent of chunk scheduling.
+        let phase_seed = split_seed(self.seed, self.inner.iterations * 2);
 
-        // Token-balanced contiguous column ranges.
-        let col_sizes: Vec<u64> =
-            (0..vocab_size).map(|w| self.inner.matrix.col_len(w as u32) as u64).collect();
-        let assignment = partition_by_size(&col_sizes, num_threads, PartitionStrategy::Dynamic);
-        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(num_threads);
-        let mut start = 0usize;
-        for worker in 0..num_threads {
-            let mut end = start;
-            while end < vocab_size && assignment[end] as usize == worker {
-                end += 1;
-            }
-            ranges.push((start, end));
-            start = end;
-        }
-        if start < vocab_size {
-            ranges.last_mut().expect("at least one worker").1 = vocab_size;
-        }
+        self.col_cursor.reset();
+        let Self { inner, workers, col_cursor, .. } = self;
+        let region_cw = inner.region_cw;
+        let region_ck = inner.region_ck;
+        let matrix = &inner.matrix;
+        let ck: &[u32] = &inner.topic_counts;
+        let rec_ptr = SendPtr(inner.records.as_mut_ptr());
 
-        // Entry ranges corresponding to each worker's columns (contiguous).
-        let col_entry_start: Vec<usize> = (0..=vocab_size)
-            .map(|w| {
-                if w == vocab_size {
-                    self.inner.matrix.num_entries()
-                } else {
-                    self.inner.matrix.col_entry_range(w as u32).start
-                }
-            })
-            .collect();
-
-        let topic_counts = self.inner.topic_counts.clone();
-        let mut partial_next: Vec<Vec<u32>> = vec![vec![0u32; k]; num_threads];
-
-        {
-            let matrix = &mut self.inner.matrix;
-            let proposals = &mut self.inner.proposals;
-            let data = matrix.data_mut();
-
-            thread::scope(|scope| {
-                let mut data_rest: &mut [u32] = data;
-                let mut prop_rest: &mut [u32] = proposals;
-                let mut consumed_entries = 0usize;
-                let mut partials = partial_next.iter_mut();
-                for (worker, &(col_start, col_end)) in ranges.iter().enumerate() {
-                    let entry_start = col_entry_start[col_start];
-                    let entry_end = col_entry_start[col_end];
-                    let (skip_d, rest_d) = data_rest.split_at_mut(entry_start - consumed_entries);
-                    let _ = skip_d;
-                    let (my_data, rest_d) = rest_d.split_at_mut(entry_end - entry_start);
-                    data_rest = rest_d;
-                    let (skip_p, rest_p) =
-                        prop_rest.split_at_mut((entry_start - consumed_entries) * m);
-                    let _ = skip_p;
-                    let (my_props, rest_p) = rest_p.split_at_mut((entry_end - entry_start) * m);
-                    prop_rest = rest_p;
-                    consumed_entries = entry_end;
-
-                    let my_next = partials.next().expect("one partial per worker");
-                    let ck = &topic_counts;
-                    let col_entry_start = &col_entry_start;
-                    scope.spawn(move |_| {
-                        let mut rng =
-                            new_rng(split_seed(base_seed, iteration * 2_000 + worker as u64));
-                        for w in col_start..col_end {
-                            let lo = col_entry_start[w] - entry_start;
-                            let hi = col_entry_start[w + 1] - entry_start;
-                            let len = hi - lo;
+        thread::scope(|scope| {
+            for ws in workers.iter_mut() {
+                let cursor = &*col_cursor;
+                scope.spawn(move |_| {
+                    let rec_ptr = rec_ptr;
+                    let mut probe = NoProbe;
+                    ws.partial_ck.fill(0);
+                    while let Some(chunk) = cursor.claim() {
+                        for w in chunk {
+                            let range = matrix.col_entry_range(w as u32);
+                            let len = range.len();
                             if len == 0 {
                                 continue;
                             }
-                            let z_col = &mut my_data[lo..hi];
-                            let props = &mut my_props[lo * m..hi * m];
-
-                            let mut cw = if use_hash {
-                                CountVector::auto(len, k)
-                            } else {
-                                CountVector::Dense(crate::counts::DenseCounts::new(k))
+                            let mut rng = new_rng(split_seed(phase_seed, w as u64));
+                            // SAFETY: column w's records are the contiguous
+                            // block `range.start * stride ..`, and every
+                            // column is claimed by exactly one worker.
+                            let block = unsafe {
+                                std::slice::from_raw_parts_mut(
+                                    rec_ptr.0.add(range.start * stride),
+                                    len * stride,
+                                )
                             };
-                            for &t in z_col.iter() {
-                                cw.increment(t);
-                            }
-                            for (n, z) in z_col.iter_mut().enumerate() {
-                                for i in 0..m {
-                                    let t = props[n * m + i];
-                                    if t != *z {
-                                        let ratio = (cw.get(t) as f64 + beta)
-                                            / (cw.get(*z) as f64 + beta)
-                                            * (ck[*z as usize] as f64 + beta_bar)
-                                            / (ck[t as usize] as f64 + beta_bar);
-                                        if ratio >= 1.0 || rng.gen::<f64>() < ratio {
-                                            *z = t;
-                                        }
-                                    }
-                                }
-                            }
-                            cw.clear();
-                            for &t in z_col.iter() {
-                                cw.increment(t);
-                                my_next[t as usize] += 1;
-                            }
-                            let pairs = cw.to_pairs();
-                            let alias = SparseAliasTable::new(
-                                &pairs.iter().map(|&(t, c)| (t, c as f64)).collect::<Vec<_>>(),
+                            process_word_column(
+                                block,
+                                m,
+                                k,
+                                beta,
+                                beta_bar,
+                                ck,
+                                &mut ws.partial_ck,
+                                &mut ws.scratch,
+                                use_hash,
+                                &mut rng,
+                                &mut probe,
+                                region_cw,
+                                region_ck,
                             );
-                            let p_count = len as f64 / (len as f64 + k as f64 * beta);
-                            for slot in props.iter_mut() {
-                                *slot = if rng.gen::<f64>() < p_count {
-                                    alias.sample(&mut rng)
-                                } else {
-                                    rng.dice(k) as u32
-                                };
-                            }
                         }
-                    });
-                }
-            })
-            .expect("word-phase worker panicked");
-        }
-
-        // Merge partial c_k vectors and swap.
-        let next = &mut self.inner.next_topic_counts;
-        for partial in &partial_next {
-            for (t, &c) in partial.iter().enumerate() {
-                next[t] += c;
+                    }
+                });
             }
-        }
+        })
+        .expect("word-phase worker panicked");
+
+        reduce_partials(&mut self.inner.next_topic_counts, &self.workers, self.num_threads);
         self.inner.swap_topic_counts();
     }
 
     fn parallel_doc_phase(&mut self) {
         let k = self.inner.params.num_topics;
-        let m = self.inner.config.mh_steps;
         let alpha = self.inner.params.alpha;
         let alpha_bar = self.inner.params.alpha_bar();
         let beta_bar = self.inner.beta_bar;
         let use_hash = self.inner.config.use_hash_counts;
-        let num_threads = self.num_threads;
-        let num_docs = self.inner.matrix.num_rows();
-        let iteration = self.inner.iterations;
-        let base_seed = self.seed;
+        let phase_seed = split_seed(self.seed, self.inner.iterations * 2 + 1);
 
-        let row_sizes: Vec<u64> =
-            (0..num_docs).map(|d| self.inner.matrix.row_len(d as u32) as u64).collect();
-        let assignment = partition_by_size(&row_sizes, num_threads, PartitionStrategy::Greedy);
+        self.row_cursor.reset();
+        let Self { inner, workers, row_cursor, .. } = self;
+        let region_cd = inner.region_cd;
+        let region_ck = inner.region_ck;
+        let matrix = &inner.matrix;
+        let ck: &[u32] = &inner.topic_counts;
+        let recs = RecPtr::new(&mut inner.records);
 
-        let topic_counts = self.inner.topic_counts.clone();
-        let mut partial_next: Vec<Vec<u32>> = vec![vec![0u32; k]; num_threads];
-
-        {
-            // Copy the per-row entry ids up front so no borrow of the matrix is
-            // alive while the workers write through the raw data pointers.
-            let row_entries: Vec<Vec<u32>> =
-                (0..num_docs).map(|d| self.inner.matrix.row_entry_ids(d as u32).to_vec()).collect();
-            let data_ptr = SendPtr(self.inner.matrix.data_mut().as_mut_ptr());
-            let prop_ptr = SendPtr(self.inner.proposals.as_mut_ptr());
-
-            thread::scope(|scope| {
-                let mut partials = partial_next.iter_mut();
-                for worker in 0..num_threads {
-                    let my_next = partials.next().expect("one partial per worker");
-                    let assignment = &assignment;
-                    let row_entries = &row_entries;
-                    let ck = &topic_counts;
-                    scope.spawn(move |_| {
-                        let data_ptr = data_ptr;
-                        let prop_ptr = prop_ptr;
-                        let mut rng = new_rng(split_seed(
-                            base_seed,
-                            iteration * 2_000 + 1_000 + worker as u64,
-                        ));
-                        // SAFETY: each entry id belongs to exactly one row and each
-                        // row to exactly one worker, so no element of `data` or
-                        // `proposals` is touched by two threads.
-                        let z_at = |e: u32| unsafe { &mut *data_ptr.0.add(e as usize) };
-                        let prop_at =
-                            |e: u32, i: usize| unsafe { &mut *prop_ptr.0.add(e as usize * m + i) };
-                        for (d, entries) in row_entries.iter().enumerate() {
-                            if assignment[d] as usize != worker {
-                                continue;
-                            }
+        thread::scope(|scope| {
+            for ws in workers.iter_mut() {
+                let cursor = &*row_cursor;
+                scope.spawn(move |_| {
+                    let recs = recs;
+                    let mut probe = NoProbe;
+                    ws.partial_ck.fill(0);
+                    while let Some(chunk) = cursor.claim() {
+                        for d in chunk {
+                            let entries = matrix.row_entry_ids(d as u32);
                             let len = entries.len();
                             if len == 0 {
                                 continue;
                             }
-                            let mut cd = if use_hash {
-                                CountVector::auto(len, k)
-                            } else {
-                                CountVector::Dense(crate::counts::DenseCounts::new(k))
-                            };
-                            for &e in entries.iter() {
-                                cd.increment(*z_at(e));
-                            }
-                            for &e in entries.iter() {
-                                let z = z_at(e);
-                                let old = *z;
-                                let mut cur = old;
-                                for i in 0..m {
-                                    let t = *prop_at(e, i);
-                                    if t != cur {
-                                        let ratio = (cd.get(t) as f64 + alpha)
-                                            / (cd.get(cur) as f64 + alpha)
-                                            * (ck[cur as usize] as f64 + beta_bar)
-                                            / (ck[t as usize] as f64 + beta_bar);
-                                        if ratio >= 1.0 || rng.gen::<f64>() < ratio {
-                                            cur = t;
-                                        }
-                                    }
-                                }
-                                if cur != old {
-                                    cd.decrement(old);
-                                    cd.increment(cur);
-                                    *z = cur;
-                                }
-                            }
-                            cd.for_each(|t, c| my_next[t as usize] += c);
-                            let p_count = len as f64 / (len as f64 + alpha_bar);
-                            for &e in entries.iter() {
-                                for i in 0..m {
-                                    *prop_at(e, i) = if rng.gen::<f64>() < p_count {
-                                        let pos = rng.dice(len);
-                                        *z_at(entries[pos])
-                                    } else {
-                                        rng.dice(k) as u32
-                                    };
-                                }
+                            let mut rng = new_rng(split_seed(phase_seed, d as u64));
+                            // SAFETY: every entry id belongs to exactly one
+                            // row and each row is claimed by exactly one
+                            // worker, so no record is touched by two threads.
+                            unsafe {
+                                super::process_doc_row(
+                                    entries,
+                                    recs,
+                                    k,
+                                    alpha,
+                                    alpha_bar,
+                                    beta_bar,
+                                    ck,
+                                    &mut ws.partial_ck,
+                                    &mut ws.scratch,
+                                    use_hash,
+                                    &mut rng,
+                                    &mut probe,
+                                    region_cd,
+                                    region_ck,
+                                );
                             }
                         }
-                    });
-                }
-            })
-            .expect("doc-phase worker panicked");
-        }
-
-        let next = &mut self.inner.next_topic_counts;
-        for partial in &partial_next {
-            for (t, &c) in partial.iter().enumerate() {
-                next[t] += c;
+                    }
+                });
             }
-        }
+        })
+        .expect("doc-phase worker panicked");
+
+        reduce_partials(&mut self.inner.next_topic_counts, &self.workers, self.num_threads);
         self.inner.swap_topic_counts();
     }
+}
+
+/// Merges the per-worker partial `c_k` vectors into `next` by a striped
+/// reduction: each reducer owns a contiguous stripe of topics and sums every
+/// worker's partial over it, so the phase-boundary merge parallelizes across
+/// `num_threads` instead of serializing on one core. Integer addition
+/// commutes, so the result is identical to a serial merge. Small topic
+/// vectors are merged inline — a thread spawn costs more than the merge.
+fn reduce_partials(next: &mut [u32], workers: &[WorkerScratch], num_threads: usize) {
+    let k = next.len();
+    // Below this many total additions the spawns dominate the merge itself:
+    // a scoped-thread spawn plus join costs on the order of 10^2 µs while
+    // the inline merge moves ~4 additions per nanosecond, so the crossover
+    // sits in the millions of additions, not thousands.
+    const PARALLEL_REDUCE_MIN: usize = 1 << 22;
+    if num_threads == 1 || k * workers.len() < PARALLEL_REDUCE_MIN {
+        for ws in workers {
+            for (dst, &src) in next.iter_mut().zip(&ws.partial_ck) {
+                *dst += src;
+            }
+        }
+        return;
+    }
+    let stripe = k.div_ceil(num_threads);
+    thread::scope(|scope| {
+        for (i, chunk) in next.chunks_mut(stripe).enumerate() {
+            let offset = i * stripe;
+            scope.spawn(move |_| {
+                for ws in workers {
+                    let src = &ws.partial_ck[offset..offset + chunk.len()];
+                    for (dst, &s) in chunk.iter_mut().zip(src) {
+                        *dst += s;
+                    }
+                }
+            });
+        }
+    })
+    .expect("reduction worker panicked");
 }
 
 impl Sampler for ParallelWarpLda {
@@ -338,12 +303,12 @@ impl Sampler for ParallelWarpLda {
     }
 
     fn run_iteration(&mut self) {
-        if self.num_threads == 1 {
-            self.inner.run_iteration();
-            return;
-        }
+        let t0 = std::time::Instant::now();
         self.parallel_word_phase();
+        self.last_phase_secs.0 = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
         self.parallel_doc_phase();
+        self.last_phase_secs.1 = t1.elapsed().as_secs_f64();
         self.inner.iterations += 1;
     }
 
@@ -354,6 +319,10 @@ impl Sampler for ParallelWarpLda {
     fn assignments(&self) -> Vec<u32> {
         self.inner.assignments()
     }
+
+    fn last_iteration_phase_seconds(&self) -> Option<f64> {
+        Some(self.last_phase_secs.0 + self.last_phase_secs.1)
+    }
 }
 
 impl Checkpointable for ParallelWarpLda {
@@ -363,24 +332,15 @@ impl Checkpointable for ParallelWarpLda {
 
     fn write_state(&self, enc: &mut Encoder<'_>) -> CodecResult<()> {
         enc.write_u64(self.seed)?;
-        enc.write_usize(self.num_threads)?;
         self.inner.write_state(enc)
     }
 
     fn read_state(&mut self, dec: &mut Decoder<'_>) -> CodecResult<()> {
+        // Per-entity RNG streams are a pure function of (seed, iteration,
+        // phase, entity), so continuation is bit-identical under *any*
+        // thread count — unlike the v1 format, which had per-worker streams
+        // and had to reject thread-count mismatches.
         let seed = dec.read_u64()?;
-        // Worker RNG streams are a pure function of (seed, iteration,
-        // worker), so continuing under a different thread count would be a
-        // *valid* run but not the bit-identical continuation the checkpoint
-        // promises — reject the mismatch like every other config field.
-        let written_threads = dec.read_usize()?;
-        if written_threads != self.num_threads {
-            return Err(CodecError::Corrupt(format!(
-                "checkpoint was written with {written_threads} worker thread(s) but the sampler \
-                 has {}; continuation would not be bit-identical",
-                self.num_threads,
-            )));
-        }
         self.inner.read_state(dec)?;
         self.seed = seed;
         Ok(())
@@ -418,7 +378,7 @@ mod tests {
         let mut s = ParallelWarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(2), 3, 4);
         for _ in 0..3 {
             s.run_iteration();
-            let hist = super::super::topic_histogram(s.inner().matrix(), 8);
+            let hist = super::super::topic_histogram(s.inner());
             assert_eq!(s.inner().topic_counts(), &hist[..]);
         }
     }
@@ -443,14 +403,28 @@ mod tests {
     }
 
     #[test]
-    fn single_thread_delegates_to_serial() {
+    fn thread_count_does_not_change_assignments() {
+        // Per-entity RNG streams make the execution independent of both the
+        // worker count and the chunk scheduling: any thread count produces
+        // bit-identical assignments.
         let corpus = DatasetPreset::Tiny.generate_scaled(8);
         let params = ModelParams::new(5, 0.5, 0.1);
-        let mut a = ParallelWarpLda::new(&corpus, params, WarpLdaConfig::default(), 11, 1);
-        let mut b = WarpLda::new(&corpus, params, WarpLdaConfig::default(), 11);
-        a.run_iteration();
-        b.run_iteration();
-        assert_eq!(a.assignments(), b.assignments());
+        let mut reference = ParallelWarpLda::new(&corpus, params, WarpLdaConfig::default(), 11, 1);
+        for _ in 0..2 {
+            reference.run_iteration();
+        }
+        for threads in [2usize, 3, 8] {
+            let mut other =
+                ParallelWarpLda::new(&corpus, params, WarpLdaConfig::default(), 11, threads);
+            for _ in 0..2 {
+                other.run_iteration();
+            }
+            assert_eq!(
+                reference.assignments(),
+                other.assignments(),
+                "{threads} threads must match 1 thread bit for bit"
+            );
+        }
     }
 
     #[test]
@@ -467,7 +441,7 @@ mod tests {
     }
 
     #[test]
-    fn checkpoint_with_different_thread_count_is_rejected() {
+    fn checkpoint_resumes_under_a_different_thread_count() {
         use crate::checkpoint::{read_checkpoint, write_checkpoint};
         let corpus = DatasetPreset::Tiny.generate_scaled(4);
         let params = ModelParams::new(4, 0.5, 0.1);
@@ -475,9 +449,37 @@ mod tests {
         a.run_iteration();
         let mut buf = Vec::new();
         write_checkpoint(&a, None, &mut buf).unwrap();
-        let mut b = ParallelWarpLda::new(&corpus, params, WarpLdaConfig::default(), 1, 2);
-        let err = read_checkpoint(&mut b, &mut buf.as_slice()).unwrap_err();
-        assert!(err.to_string().contains("worker thread"), "{err}");
+        // Per-entity streams make continuation thread-count independent: the
+        // 2-thread resume must continue exactly like the 3-thread original.
+        let mut b = ParallelWarpLda::new(&corpus, params, WarpLdaConfig::default(), 99, 2);
+        read_checkpoint(&mut b, &mut buf.as_slice()).unwrap();
+        assert_eq!(a.assignments(), b.assignments());
+        a.run_iteration();
+        b.run_iteration();
+        assert_eq!(a.assignments(), b.assignments(), "continuation must be bit-identical");
+    }
+
+    #[test]
+    fn striped_reduction_matches_inline_merge() {
+        // Large enough that k * workers crosses PARALLEL_REDUCE_MIN, so the
+        // striped (spawning) branch actually runs, including its ragged
+        // final stripe (num_threads does not divide k).
+        let k = 1 << 21;
+        let workers: Vec<WorkerScratch> = (0..2u32)
+            .map(|w| WorkerScratch {
+                partial_ck: (0..k as u32).map(|t| t.wrapping_mul(w + 1) % 97).collect(),
+                scratch: PhaseScratch::new(4, 1),
+            })
+            .collect();
+        let mut expected = vec![0u32; k];
+        for ws in &workers {
+            for (dst, &src) in expected.iter_mut().zip(&ws.partial_ck) {
+                *dst += src;
+            }
+        }
+        let mut striped = vec![0u32; k];
+        reduce_partials(&mut striped, &workers, 3);
+        assert_eq!(striped, expected);
     }
 
     #[test]

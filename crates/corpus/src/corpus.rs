@@ -1,7 +1,5 @@
 //! The [`Corpus`] container and its builder.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{CorpusError, CorpusStats, DocId, Document, Vocabulary, WordId};
 
 /// A bag-of-words corpus: a set of documents over a shared vocabulary.
@@ -10,7 +8,7 @@ use crate::{CorpusError, CorpusStats, DocId, Document, Vocabulary, WordId};
 /// immutable after construction; the samplers keep all mutable state (topic
 /// assignments, counts) separately so that one corpus can be shared across
 /// threads and across samplers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Corpus {
     docs: Vec<Document>,
     vocab: Vocabulary,

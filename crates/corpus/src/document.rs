@@ -1,7 +1,5 @@
 //! A single bag-of-words document.
 
-use serde::{Deserialize, Serialize};
-
 use crate::WordId;
 
 /// A document is an ordered list of token occurrences (word ids).
@@ -10,7 +8,7 @@ use crate::WordId;
 /// we keep a flat `Vec<WordId>` because the samplers assign one latent topic
 /// per *occurrence* (Section 2.1 of the paper distinguishes words from
 /// tokens: "apple" is a word, each of its occurrences is a token).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Document {
     tokens: Vec<WordId>,
 }

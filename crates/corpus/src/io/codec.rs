@@ -13,11 +13,20 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"WLDACKPT"
-//! 8       4     format version (currently 1)
+//! 8       4     format version (currently 2)
 //! 12      8     payload length in bytes
 //! 20      8     FNV-1a 64 checksum of the payload
 //! 28      n     payload
 //! ```
+//!
+//! **Format history.** Version 1 stored WarpLDA's per-token state as two
+//! separate arrays (assignments, then a flat proposal array). Version 2
+//! stores the packed per-entry records (assignment + `M` proposals
+//! interleaved) and drops the parallel driver's worker-count field, whose
+//! continuation is now thread-count independent. v1 files are rejected with
+//! the typed [`CodecError::LegacyVersion`] — re-save the model under the
+//! current format; there is no in-place migration because v1 payloads do not
+//! record which layout their sampler section uses.
 //!
 //! The payload itself is written by the caller via an [`Encoder`]; the
 //! checkpoint layer in `warplda-core` composes sampler state, model
@@ -38,7 +47,8 @@ pub const MAGIC: [u8; 8] = *b"WLDACKPT";
 
 /// Current format version of the framed container. Bump when the payload
 /// layout changes incompatibly; readers reject versions they do not know.
-pub const FORMAT_VERSION: u32 = 1;
+/// See the module docs for the format history.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Longest string (in bytes) the decoder will allocate for; guards against
 /// reading a length field from a corrupt file and allocating gigabytes.
@@ -53,6 +63,10 @@ pub enum CodecError {
     BadMagic,
     /// The file's format version is newer than this reader understands.
     UnsupportedVersion(u32),
+    /// The file uses a superseded format this reader deliberately no longer
+    /// decodes (v1 predates the packed token-record layout). Re-save the
+    /// model with the current code.
+    LegacyVersion(u32),
     /// The payload's checksum does not match the header.
     ChecksumMismatch {
         /// Checksum recorded in the header.
@@ -73,6 +87,13 @@ impl std::fmt::Display for CodecError {
                 write!(
                     f,
                     "unsupported checkpoint format version {v} (reader supports {FORMAT_VERSION})"
+                )
+            }
+            CodecError::LegacyVersion(v) => {
+                write!(
+                    f,
+                    "checkpoint format version {v} is superseded (current: {FORMAT_VERSION}); \
+                     v1 predates the packed token-record layout — re-train or re-save the model"
                 )
             }
             CodecError::ChecksumMismatch { expected, found } => {
@@ -332,6 +353,11 @@ pub fn read_framed(r: &mut dyn Read) -> CodecResult<Vec<u8>> {
         return Err(CodecError::BadMagic);
     }
     let version = dec.read_u32()?;
+    // Only version 1 ever shipped before the current format; anything else
+    // (0, or a future number) is unknown, not legacy.
+    if version == 1 {
+        return Err(CodecError::LegacyVersion(version));
+    }
     if version != FORMAT_VERSION {
         return Err(CodecError::UnsupportedVersion(version));
     }
@@ -467,6 +493,29 @@ mod tests {
         assert!(matches!(
             read_framed(&mut file.as_slice()),
             Err(CodecError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn legacy_v1_rejected_with_typed_error() {
+        let mut file = Vec::new();
+        write_framed(&mut file, b"x").unwrap();
+        file[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let err = read_framed(&mut file.as_slice()).unwrap_err();
+        assert!(matches!(err, CodecError::LegacyVersion(1)), "{err}");
+        assert!(err.to_string().contains("packed token-record"), "{err}");
+    }
+
+    #[test]
+    fn version_zero_is_unknown_not_legacy() {
+        // Version 0 never existed: a header claiming it is corruption, and
+        // telling the user to "re-save" such a file would be misleading.
+        let mut file = Vec::new();
+        write_framed(&mut file, b"x").unwrap();
+        file[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_framed(&mut file.as_slice()),
+            Err(CodecError::UnsupportedVersion(0))
         ));
     }
 

@@ -6,13 +6,11 @@
 //! run on a single machine in seconds to minutes. The scale factor is recorded
 //! so EXPERIMENTS.md can report both the preset and the original.
 
-use serde::{Deserialize, Serialize};
-
 use crate::synth::{LdaGenerator, SyntheticConfig};
 use crate::Corpus;
 
 /// A named dataset preset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DatasetPreset {
     /// NYTimes-like: 300K docs, 100M tokens, 102K vocab, T/D ≈ 332 in the
     /// paper; scaled to 3K docs here.

@@ -1,13 +1,11 @@
 //! Corpus summary statistics (Table 3 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 use crate::Corpus;
 
 /// Summary statistics of a corpus, matching the columns of Table 3:
 /// `D` (documents), `T` (tokens), `V` (vocabulary), `T/D` (mean document
 /// length), plus a few extras that the analysis sections use.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CorpusStats {
     /// Number of documents (`D`).
     pub num_docs: usize,

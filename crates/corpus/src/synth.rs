@@ -7,14 +7,12 @@
 //! relative behaviour of the samplers (convergence curves, speedups, cache
 //! behaviour) is preserved. See DESIGN.md §4 for the substitution argument.
 
+use crate::{Corpus, Document, Vocabulary, WordId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
-use crate::{Corpus, Document, Vocabulary, WordId};
 
 /// Configuration shared by the synthetic generators.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SyntheticConfig {
     /// Number of documents `D`.
     pub num_docs: usize,

@@ -11,12 +11,10 @@
 //! assignment, MH proposals) can live in flat arrays indexed by it regardless
 //! of the visiting order.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Corpus, DocId, WordId};
 
 /// A reference to a single token occurrence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TokenRef {
     /// Document the token belongs to.
     pub doc: DocId,
@@ -28,7 +26,7 @@ pub struct TokenRef {
 
 /// Document-major view: for each document, the contiguous range of token
 /// indices and their word ids.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DocMajorView {
     /// `offsets[d]..offsets[d+1]` is the token-index range of document `d`.
     offsets: Vec<u32>,
@@ -102,7 +100,7 @@ impl DocMajorView {
 /// within each word the occurrences are sorted by document id, which is
 /// exactly the property Section 5.2 relies on for cache-friendly indirect row
 /// accesses.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WordMajorView {
     /// `offsets[w]..offsets[w+1]` is the occurrence range of word `w`.
     offsets: Vec<u32>,

@@ -206,6 +206,9 @@ impl DistributedWarpLda {
                 iteration: r.iteration,
                 seconds,
                 tokens_per_sec: r.tokens_per_sec,
+                // compute_sec is the measured sampling time of the iteration,
+                // already free of the modeled communication cost.
+                phase_seconds: Some(r.compute_sec),
                 log_likelihood: r.log_likelihood,
             });
         }

@@ -6,6 +6,40 @@
 
 use rand::Rng;
 
+/// Reusable worklists for [`AliasTable::rebuild`] /
+/// [`SparseAliasTable::rebuild`]: once the buffers have grown to the largest
+/// distribution a caller builds, rebuilding tables allocates nothing. One
+/// scratch can serve any number of tables (WarpLDA keeps one per worker).
+#[derive(Debug, Clone, Default)]
+pub struct AliasBuildScratch {
+    /// Weights scaled to mean 1.0 per bin.
+    scaled: Vec<f64>,
+    /// Bins below the mean, awaiting an alias donor.
+    small: Vec<u32>,
+    /// Bins above the mean, donating probability mass.
+    large: Vec<u32>,
+    /// Staging for the weight column of sparse `(label, weight)` entries.
+    weights: Vec<f64>,
+}
+
+impl AliasBuildScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-sized for distributions of up to `n` outcomes, so no
+    /// rebuild of that size or smaller ever allocates.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            scaled: Vec::with_capacity(n),
+            small: Vec::with_capacity(n),
+            large: Vec::with_capacity(n),
+            weights: Vec::with_capacity(n),
+        }
+    }
+}
+
 /// An alias table over outcomes `0..len`.
 ///
 /// Built from unnormalized, non-negative weights. Zero-weight outcomes are
@@ -27,6 +61,26 @@ impl AliasTable {
     /// # Panics
     /// Panics if `weights` is empty or contains a negative or non-finite value.
     pub fn new(weights: &[f64]) -> Self {
+        let mut table = Self::with_capacity(weights.len());
+        table.rebuild(weights, &mut AliasBuildScratch::with_capacity(weights.len()));
+        table
+    }
+
+    /// An empty table whose buffers are pre-sized for distributions of up to
+    /// `n` outcomes. [`rebuild`](Self::rebuild) must run before
+    /// [`sample`](Self::sample) can be used.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { prob: Vec::with_capacity(n), alias: Vec::with_capacity(n), total_weight: 0.0 }
+    }
+
+    /// Rebuilds the table in place from unnormalized weights, reusing this
+    /// table's bins and `scratch`'s worklists. Once both have grown to the
+    /// largest distribution seen, rebuilding performs no heap allocation.
+    /// The resulting table is identical to `AliasTable::new(weights)`.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or contains a negative or non-finite value.
+    pub fn rebuild(&mut self, weights: &[f64], scratch: &mut AliasBuildScratch) {
         assert!(!weights.is_empty(), "alias table needs at least one outcome");
         let n = weights.len();
         let mut total = 0.0f64;
@@ -34,20 +88,29 @@ impl AliasTable {
             assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative, got {w}");
             total += w;
         }
-        let mut prob = vec![1.0f64; n];
-        let mut alias: Vec<u32> = (0..n as u32).collect();
+        self.prob.clear();
+        self.prob.resize(n, 1.0);
+        self.alias.clear();
+        self.alias.extend(0..n as u32);
         if total <= 0.0 {
             // Degenerate: uniform fallback.
-            return Self { prob, alias, total_weight: 0.0 };
+            self.total_weight = 0.0;
+            return;
         }
+        let prob = &mut self.prob;
+        let alias = &mut self.alias;
 
         // Scaled weights: mean 1.0 per bin.
         let scale = n as f64 / total;
-        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let scaled = &mut scratch.scaled;
+        scaled.clear();
+        scaled.extend(weights.iter().map(|&w| w * scale));
 
         // Split indices into "small" (< 1) and "large" (>= 1) worklists.
-        let mut small: Vec<u32> = Vec::with_capacity(n);
-        let mut large: Vec<u32> = Vec::with_capacity(n);
+        let small = &mut scratch.small;
+        let large = &mut scratch.large;
+        small.clear();
+        large.clear();
         for (i, &s) in scaled.iter().enumerate() {
             if s < 1.0 {
                 small.push(i as u32);
@@ -68,12 +131,12 @@ impl AliasTable {
             }
         }
         // Numerical leftovers: everything remaining gets probability 1 of itself.
-        for i in small.into_iter().chain(large) {
+        for i in small.drain(..).chain(large.drain(..)) {
             prob[i as usize] = 1.0;
             alias[i as usize] = i;
         }
 
-        Self { prob, alias, total_weight: total }
+        self.total_weight = total;
     }
 
     /// Builds an alias table from unnormalized `u32` counts (the common case
@@ -147,10 +210,36 @@ impl SparseAliasTable {
     /// # Panics
     /// Panics if `entries` is empty.
     pub fn new(entries: &[(u32, f64)]) -> Self {
+        let mut table = Self::with_capacity(entries.len());
+        table.rebuild(entries, &mut AliasBuildScratch::with_capacity(entries.len()));
+        table
+    }
+
+    /// An empty table pre-sized for up to `n` entries;
+    /// [`rebuild`](Self::rebuild) must run before sampling.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { labels: Vec::with_capacity(n), table: AliasTable::with_capacity(n) }
+    }
+
+    /// Rebuilds the table in place from `(label, weight)` pairs, reusing this
+    /// table's buffers and `scratch`'s worklists (no heap allocation once
+    /// both have grown to the largest distribution seen). The rebuilt table
+    /// draws exactly the same labels as a freshly constructed
+    /// `SparseAliasTable::new(entries)` given the same RNG stream.
+    ///
+    /// # Panics
+    /// Panics if `entries` is empty.
+    pub fn rebuild(&mut self, entries: &[(u32, f64)], scratch: &mut AliasBuildScratch) {
         assert!(!entries.is_empty(), "sparse alias table needs at least one entry");
-        let labels: Vec<u32> = entries.iter().map(|&(l, _)| l).collect();
-        let weights: Vec<f64> = entries.iter().map(|&(_, w)| w).collect();
-        Self { labels, table: AliasTable::new(&weights) }
+        self.labels.clear();
+        self.labels.extend(entries.iter().map(|&(l, _)| l));
+        // The weight column stages through the scratch; taking the buffer out
+        // sidesteps borrowing `scratch` twice and moves no heap data.
+        let mut weights = std::mem::take(&mut scratch.weights);
+        weights.clear();
+        weights.extend(entries.iter().map(|&(_, w)| w));
+        self.table.rebuild(&weights, scratch);
+        scratch.weights = weights;
     }
 
     /// Number of (label, weight) entries.
@@ -282,6 +371,36 @@ mod tests {
         assert!((frac - 0.75).abs() < 0.02);
         assert_eq!(table.len(), 2);
         assert!((table.total_weight() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_and_matches_fresh_builds() {
+        let mut scratch = AliasBuildScratch::with_capacity(8);
+        let mut reused = SparseAliasTable::with_capacity(8);
+        let distributions: [&[(u32, f64)]; 4] = [
+            &[(3, 1.0), (9, 2.0), (17, 0.0), (4, 5.5)],
+            &[(100, 0.25)],
+            &[(0, 0.0), (1, 0.0)],
+            &[(8, 4.0), (2, 4.0), (5, 1.0), (6, 0.5), (7, 9.0), (11, 3.25), (12, 0.75), (13, 2.0)],
+        ];
+        for entries in distributions {
+            reused.rebuild(entries, &mut scratch);
+            let fresh = SparseAliasTable::new(entries);
+            assert_eq!(reused.len(), fresh.len());
+            assert_eq!(reused.total_weight().to_bits(), fresh.total_weight().to_bits());
+            let mut a = new_rng(31);
+            let mut b = new_rng(31);
+            for _ in 0..2_000 {
+                assert_eq!(reused.sample(&mut a), fresh.sample(&mut b));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn rebuild_with_no_entries_panics() {
+        let mut t = SparseAliasTable::with_capacity(4);
+        t.rebuild(&[], &mut AliasBuildScratch::new());
     }
 
     #[test]

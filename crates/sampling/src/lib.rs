@@ -27,7 +27,7 @@ pub mod mh;
 pub mod mixture;
 pub mod rng;
 
-pub use alias::{AliasTable, SparseAliasTable};
+pub use alias::{AliasBuildScratch, AliasTable, SparseAliasTable};
 pub use discrete::{sample_cdf_linear, sample_unnormalized, CumulativeSampler};
 pub use ftree::FTree;
 pub use mh::{accept, MhChain};

@@ -7,12 +7,10 @@
 //! both row and column visits are fully sequential, but every switch between
 //! a row pass and a column pass pays an explicit transpose.
 
-use serde::{Deserialize, Serialize};
-
 /// A sparse matrix stored twice: once row-major (CSR) and once column-major
 /// (CSC). Whichever copy was written last is the *fresh* copy; switching
 /// visit direction triggers a transpose that copies the data across.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DualLayoutMatrix<T> {
     num_rows: usize,
     num_cols: usize,
@@ -32,7 +30,7 @@ pub struct DualLayoutMatrix<T> {
     transposes: u64,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Fresh {
     Rows,
     Cols,

@@ -13,12 +13,16 @@
 //! * [`DualLayoutMatrix`] — the alternative layout the paper rejects (explicit
 //!   CSR **and** CSC copies synchronized by a transpose after every pass),
 //!   kept for the ablation benchmark.
+//! * [`records`] — fixed-stride packed per-entry records
+//!   ([`PackedRecords`]): the assignment-plus-proposals state WarpLDA keeps
+//!   per token, interleaved so each token touch is one sequential stream.
 //! * [`partition`] — the balanced column/row partitioning strategies of
-//!   Section 5.3.2 (static, dynamic, greedy) and the imbalance index used in
-//!   Figure 4.
+//!   Section 5.3.2 (static, dynamic, greedy), the imbalance index used in
+//!   Figure 4, and the [`ChunkCursor`] atomic work queue that removes the
+//!   tail imbalance static partitions leave behind.
 //! * [`parallel`] — multi-threaded `VisitByRow` / `VisitByColumn` built on
-//!   crossbeam scoped threads, mirroring the paper's shared-memory
-//!   parallelization (Section 5.3.1).
+//!   crossbeam scoped threads over the chunked work queue, mirroring the
+//!   paper's shared-memory parallelization (Section 5.3.1).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,8 +31,12 @@ pub mod layout;
 pub mod matrix;
 pub mod parallel;
 pub mod partition;
+pub mod records;
 
 pub use layout::DualLayoutMatrix;
 pub use matrix::{ColumnEntriesMut, RowEntriesMut, TokenMatrix};
 pub use parallel::{parallel_visit_by_column, parallel_visit_by_row};
-pub use partition::{imbalance_index, partition_by_size, partition_loads, PartitionStrategy};
+pub use partition::{
+    imbalance_index, partition_by_size, partition_loads, ChunkCursor, PartitionStrategy,
+};
+pub use records::PackedRecords;

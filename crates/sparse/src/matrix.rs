@@ -6,8 +6,6 @@
 //! can use to maintain auxiliary per-token arrays (WarpLDA stores its MH
 //! proposals this way).
 
-use serde::{Deserialize, Serialize};
-
 /// A sparse `rows × cols` matrix with one data item of type `T` per entry.
 ///
 /// * Column-major (CSC) storage of the data: the entries of column `w` are
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 ///   column's entries are sorted by row, those indirect accesses sweep each
 ///   column's region monotonically, which is the cache-line reuse argument of
 ///   Section 5.2.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TokenMatrix<T> {
     num_rows: usize,
     num_cols: usize,
@@ -213,7 +211,6 @@ impl<T> TokenMatrix<T> {
     pub(crate) fn raw_parts_mut(&mut self) -> RawParts<'_, T> {
         RawParts {
             num_rows: self.num_rows,
-            num_cols: self.num_cols,
             col_offsets: &self.col_offsets,
             entry_rows: &self.entry_rows,
             row_offsets: &self.row_offsets,
@@ -227,7 +224,6 @@ impl<T> TokenMatrix<T> {
 /// Borrowed raw parts used by the parallel visitors.
 pub(crate) struct RawParts<'a, T> {
     pub num_rows: usize,
-    pub num_cols: usize,
     pub col_offsets: &'a [u32],
     pub entry_rows: &'a [u32],
     pub row_offsets: &'a [u32],

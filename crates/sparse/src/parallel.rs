@@ -3,21 +3,27 @@
 //! The paper calls WarpLDA "embarrassingly parallel because the workers
 //! operate on disjoint sets of data": a row (document) belongs to exactly one
 //! worker, and so does a column (word). We reproduce that here with crossbeam
-//! scoped threads:
+//! scoped threads pulling contiguous row/column chunks from a
+//! [`ChunkCursor`] work queue — an up-front static partition would leave a
+//! tail imbalance whenever the size estimate is off (power-law column
+//! sizes), while the queue lets early finishers keep claiming work.
 //!
-//! * **Columns** are contiguous ranges of the CSC data, so each worker simply
-//!   receives a disjoint `&mut` slice — fully safe.
+//! Disjointness is what makes the shared mutation sound:
+//!
+//! * **Columns** own contiguous ranges of the CSC data; every column is
+//!   claimed by exactly one worker, so the per-column slices created from
+//!   the shared base pointer never overlap.
 //! * **Rows** reach their entries through the pointer indirection, so the
-//!   entries of different rows interleave in memory. Workers therefore share
-//!   a raw pointer to the data array; safety rests on the structural
-//!   invariant that every entry id belongs to exactly one row, and each row to
-//!   exactly one worker. This is the same argument the paper's C++
+//!   entries of different rows interleave in memory. Workers share a raw
+//!   pointer to the data array; safety rests on the structural invariant
+//!   that every entry id belongs to exactly one row, and each row is claimed
+//!   by exactly one worker. This is the same argument the paper's C++
 //!   implementation relies on.
 
 use crossbeam::thread;
 
 use crate::matrix::TokenMatrix;
-use crate::partition::{partition_by_size, PartitionStrategy};
+use crate::partition::ChunkCursor;
 
 /// A view of one row's entries handed to parallel row visitors.
 ///
@@ -71,9 +77,9 @@ impl<'a, T> ParRowEntries<'a, T> {
     }
 }
 
-/// Visits all rows with `num_threads` workers. Rows are distributed by a
-/// greedy balance on their entry counts, so a handful of very long documents
-/// cannot serialize the pass.
+/// Visits all rows with `num_threads` workers pulling row chunks from a
+/// [`ChunkCursor`], so a handful of very long documents cannot serialize the
+/// pass and no worker idles while rows remain.
 ///
 /// `op` receives `(row_id, entries)` and must be safe to call concurrently
 /// for *different* rows.
@@ -88,35 +94,31 @@ where
         return;
     }
 
-    let row_sizes: Vec<u64> =
-        (0..matrix.num_rows()).map(|d| matrix.row_len(d as u32) as u64).collect();
-    let assignment = partition_by_size(&row_sizes, num_threads, PartitionStrategy::Greedy);
+    let cursor = ChunkCursor::for_workers(matrix.num_rows(), num_threads);
     let parts = matrix.raw_parts_mut();
     let data_ptr = SendPtr(parts.data.as_mut_ptr());
     let row_offsets = parts.row_offsets;
     let row_ptr = parts.row_ptr;
     let row_cols = parts.row_cols;
-    let num_rows = parts.num_rows;
 
     thread::scope(|scope| {
-        for worker in 0..num_threads {
-            let assignment = &assignment;
+        for _ in 0..num_threads {
+            let cursor = &cursor;
             let op = &op;
             scope.spawn(move |_| {
                 // Capture the whole wrapper (edition-2021 closures would otherwise
                 // capture only the raw-pointer field, which is not `Send`).
                 let data_ptr = data_ptr;
-                for d in 0..num_rows {
-                    if assignment[d] as usize != worker {
-                        continue;
+                while let Some(chunk) = cursor.claim() {
+                    for d in chunk {
+                        let range = row_offsets[d] as usize..row_offsets[d + 1] as usize;
+                        let view = ParRowEntries {
+                            entry_ids: &row_ptr[range.clone()],
+                            cols: &row_cols[range],
+                            data: data_ptr.0,
+                        };
+                        op(d as u32, view);
                     }
-                    let range = row_offsets[d] as usize..row_offsets[d + 1] as usize;
-                    let view = ParRowEntries {
-                        entry_ids: &row_ptr[range.clone()],
-                        cols: &row_cols[range],
-                        data: data_ptr.0,
-                    };
-                    op(d as u32, view);
                 }
             });
         }
@@ -188,68 +190,45 @@ impl<'a, T> ParColumnEntries<'a, T> {
     }
 }
 
-/// Visits all columns with `num_threads` workers. Workers own contiguous
-/// column ranges balanced by token count (the paper's dynamic slicing), so the
-/// data splits into disjoint `&mut` slices without any unsafe code.
+/// Visits all columns with `num_threads` workers pulling contiguous column
+/// chunks from a [`ChunkCursor`]. The paper's dynamic slicing balances
+/// columns once, up front, by token count; the work queue achieves the same
+/// contiguous-claim locality while also absorbing the tail imbalance a
+/// power-law head word leaves in any static split.
 pub fn parallel_visit_by_column<T, F>(matrix: &mut TokenMatrix<T>, num_threads: usize, op: F)
 where
     T: Send,
     F: Fn(u32, ParColumnEntries<'_, T>) + Sync,
 {
     let num_threads = num_threads.max(1);
-    let col_sizes: Vec<u64> =
-        (0..matrix.num_cols()).map(|w| matrix.col_len(w as u32) as u64).collect();
-    let assignment = partition_by_size(&col_sizes, num_threads, PartitionStrategy::Dynamic);
+    let cursor = ChunkCursor::for_workers(matrix.num_cols(), num_threads);
     let parts = matrix.raw_parts_mut();
+    let data_ptr = SendPtr(parts.data.as_mut_ptr());
     let col_offsets = parts.col_offsets;
     let entry_rows = parts.entry_rows;
-    let num_cols = parts.num_cols;
-
-    // Compute the contiguous column range of each worker.
-    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(num_threads);
-    {
-        let mut start = 0usize;
-        for worker in 0..num_threads {
-            let mut end = start;
-            while end < num_cols && assignment[end] as usize == worker {
-                end += 1;
-            }
-            ranges.push((start, end));
-            start = end;
-        }
-        // Any trailing columns (possible when there are fewer columns than
-        // workers) go to the last worker.
-        if start < num_cols {
-            let last = ranges.len() - 1;
-            ranges[last].1 = num_cols;
-        }
-    }
 
     thread::scope(|scope| {
-        let mut rest: &mut [T] = parts.data;
-        let mut consumed = 0usize;
-        for &(col_start, col_end) in &ranges {
-            let entry_start = col_offsets[col_start] as usize;
-            let entry_end = col_offsets[col_end] as usize;
-            debug_assert!(entry_start >= consumed);
-            let (skip, tail) = rest.split_at_mut(entry_start - consumed);
-            let _ = skip; // already handed out (or empty)
-            let (mine, tail) = tail.split_at_mut(entry_end - entry_start);
-            rest = tail;
-            consumed = entry_end;
+        for _ in 0..num_threads {
+            let cursor = &cursor;
             let op = &op;
             scope.spawn(move |_| {
-                let mut remaining: &mut [T] = mine;
-                for w in col_start..col_end {
-                    let len = (col_offsets[w + 1] - col_offsets[w]) as usize;
-                    let (head, tail) = remaining.split_at_mut(len);
-                    remaining = tail;
-                    let view = ParColumnEntries {
-                        first_entry_id: col_offsets[w],
-                        rows: &entry_rows[col_offsets[w] as usize..col_offsets[w + 1] as usize],
-                        data: head,
-                    };
-                    op(w as u32, view);
+                let data_ptr = data_ptr;
+                while let Some(chunk) = cursor.claim() {
+                    for w in chunk {
+                        let lo = col_offsets[w] as usize;
+                        let len = col_offsets[w + 1] as usize - lo;
+                        // SAFETY: a column's entries are the contiguous CSC
+                        // range `lo..lo + len`, and every column is claimed by
+                        // exactly one worker, so these slices never overlap.
+                        let data =
+                            unsafe { std::slice::from_raw_parts_mut(data_ptr.0.add(lo), len) };
+                        let view = ParColumnEntries {
+                            first_entry_id: col_offsets[w],
+                            rows: &entry_rows[lo..lo + len],
+                            data,
+                        };
+                        op(w as u32, view);
+                    }
                 }
             });
         }

@@ -14,13 +14,21 @@
 //!
 //! The quality metric is the *imbalance index*:
 //! `max_partition_tokens / mean_partition_tokens − 1` (0 is perfect balance).
+//!
+//! All three strategies assign items to workers *up front*, which leaves a
+//! tail imbalance whenever the static estimate is wrong (power-law column
+//! sizes, fewer items than workers, one worker descheduled by the OS). The
+//! [`ChunkCursor`] complements them: a chunked atomic work queue that hands
+//! out contiguous index ranges on demand, so whichever worker drains its
+//! share first simply claims the next chunk.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// Partitioning strategy for distributing columns (or rows) across `p` workers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PartitionStrategy {
     /// Random shuffle, equal number of items per partition.
     Static {
@@ -91,6 +99,69 @@ pub fn partition_by_size(
         }
     }
     assignment
+}
+
+/// A chunked atomic-cursor work queue over the index range `0..len`.
+///
+/// Workers call [`claim`](Self::claim) until it returns `None`; each claim is
+/// a contiguous chunk of indices owned exclusively by the claiming worker.
+/// Unlike an up-front partition there is no tail imbalance: a worker that
+/// finishes early keeps claiming. Chunks keep claims contiguous (sequential
+/// memory access within a claim) and amortize the atomic increment.
+#[derive(Debug)]
+pub struct ChunkCursor {
+    next: AtomicUsize,
+    len: usize,
+    chunk: usize,
+}
+
+impl ChunkCursor {
+    /// A cursor over `0..len` handing out chunks of `chunk` indices.
+    ///
+    /// # Panics
+    /// Panics if `chunk` is zero.
+    pub fn new(len: usize, chunk: usize) -> Self {
+        assert!(chunk >= 1, "chunks must hold at least one index");
+        Self { next: AtomicUsize::new(0), len, chunk }
+    }
+
+    /// A cursor whose chunk size targets ~32 claims per worker — small
+    /// enough to absorb power-law size skew, large enough that the atomic
+    /// increment is noise.
+    pub fn for_workers(len: usize, num_workers: usize) -> Self {
+        let claims = num_workers.max(1) * 32;
+        Self::new(len, (len.div_ceil(claims.max(1))).clamp(1, 1024))
+    }
+
+    /// Total number of indices.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the cursor covers no indices.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Indices per claim (the final claim may be shorter).
+    pub fn chunk_size(&self) -> usize {
+        self.chunk
+    }
+
+    /// Claims the next chunk; `None` once the range is exhausted.
+    pub fn claim(&self) -> Option<std::ops::Range<usize>> {
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.len {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.len))
+    }
+
+    /// Rewinds the cursor so the range can be drained again (requires
+    /// exclusive access, i.e. all workers of the previous drain are done).
+    pub fn reset(&mut self) {
+        *self.next.get_mut() = 0;
+    }
 }
 
 /// Computes the per-partition total sizes from an assignment.
@@ -218,6 +289,57 @@ mod tests {
     #[should_panic(expected = "at least one partition")]
     fn zero_partitions_panic() {
         let _ = partition_by_size(&[1, 2], 0, PartitionStrategy::Greedy);
+    }
+
+    #[test]
+    fn chunk_cursor_covers_the_range_exactly_once() {
+        let mut cursor = ChunkCursor::new(103, 10);
+        let mut seen = vec![0u32; 103];
+        while let Some(chunk) = cursor.claim() {
+            for i in chunk {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+        assert!(cursor.claim().is_none(), "exhausted cursors stay exhausted");
+        cursor.reset();
+        assert_eq!(cursor.claim(), Some(0..10));
+    }
+
+    #[test]
+    fn chunk_cursor_is_safe_under_concurrent_claims() {
+        let cursor = ChunkCursor::for_workers(10_000, 4);
+        let counts: Vec<std::sync::atomic::AtomicU32> =
+            (0..10_000).map(|_| std::sync::atomic::AtomicU32::new(0)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while let Some(chunk) = cursor.claim() {
+                        for i in chunk {
+                            counts[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(counts.iter().all(|c| c.load(std::sync::atomic::Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunk_cursor_edge_cases() {
+        assert!(ChunkCursor::new(0, 5).claim().is_none());
+        assert!(ChunkCursor::for_workers(0, 8).is_empty());
+        let one = ChunkCursor::for_workers(1, 64);
+        assert_eq!(one.chunk_size(), 1);
+        assert_eq!(one.claim(), Some(0..1));
+        // Huge ranges cap the chunk so claims stay balanced.
+        assert_eq!(ChunkCursor::for_workers(10_000_000, 2).chunk_size(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one index")]
+    fn zero_chunk_size_rejected() {
+        let _ = ChunkCursor::new(10, 0);
     }
 
     #[test]

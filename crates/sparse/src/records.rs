@@ -1,0 +1,167 @@
+//! Packed per-entry records: one interleaved, fixed-stride block of `u32`s
+//! per matrix entry.
+//!
+//! WarpLDA keeps a topic assignment *and* `M` pending MH proposals per token.
+//! Storing them as a [`TokenMatrix`](crate::TokenMatrix) data array plus a
+//! flat side array means every token touch streams two arrays at once —
+//! twice the number of hardware prefetch streams and twice the TLB pressure
+//! for state that is always read and written together. A [`PackedRecords`]
+//! stores the whole per-token record contiguously instead:
+//!
+//! ```text
+//! record e (stride S = 1 + M):   [ z_e | p_0 | p_1 | … | p_{M-1} ]
+//! data layout:                   record 0, record 1, record 2, …
+//! ```
+//!
+//! Entry ids are CSC positions, so a column's records form one contiguous
+//! block ([`block_mut`](PackedRecords::block_mut)) and a column visit is a
+//! single sequential stream; row visits hop between records but each hop
+//! lands on one cache-resident record instead of two distant ones.
+
+/// Fixed-stride packed `u32` records, indexed by entry id.
+///
+/// The value at offset 0 of each record is the *primary* value (WarpLDA's
+/// topic assignment); offsets `1..stride` are auxiliary (the MH proposals).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedRecords {
+    stride: usize,
+    data: Vec<u32>,
+}
+
+impl PackedRecords {
+    /// `num_records` zero-initialized records of `stride` words each.
+    ///
+    /// # Panics
+    /// Panics if `stride` is zero.
+    pub fn new(num_records: usize, stride: usize) -> Self {
+        assert!(stride >= 1, "records need at least the primary word");
+        Self { stride, data: vec![0; num_records * stride] }
+    }
+
+    /// Wraps an existing flat buffer (e.g. decoded from a checkpoint).
+    ///
+    /// # Panics
+    /// Panics if `stride` is zero or `data.len()` is not a multiple of it.
+    pub fn from_raw(data: Vec<u32>, stride: usize) -> Self {
+        assert!(stride >= 1, "records need at least the primary word");
+        assert!(
+            data.len().is_multiple_of(stride),
+            "buffer of {} words is not a whole number of stride-{stride} records",
+            data.len()
+        );
+        Self { stride, data }
+    }
+
+    /// Words per record.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of records.
+    pub fn num_records(&self) -> usize {
+        self.data.len() / self.stride
+    }
+
+    /// The whole buffer, record-major.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// Mutable access to the whole buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [u32] {
+        &mut self.data
+    }
+
+    /// Raw pointer to the buffer, for parallel visitors that hand disjoint
+    /// record sets to different workers.
+    pub fn as_mut_ptr(&mut self) -> *mut u32 {
+        self.data.as_mut_ptr()
+    }
+
+    /// The primary value of record `e`.
+    #[inline]
+    pub fn primary(&self, e: usize) -> u32 {
+        self.data[e * self.stride]
+    }
+
+    /// Sets the primary value of record `e`.
+    #[inline]
+    pub fn set_primary(&mut self, e: usize, v: u32) {
+        self.data[e * self.stride] = v;
+    }
+
+    /// Record `e` as a slice of `stride` words.
+    #[inline]
+    pub fn record(&self, e: usize) -> &[u32] {
+        &self.data[e * self.stride..(e + 1) * self.stride]
+    }
+
+    /// Record `e` as a mutable slice.
+    #[inline]
+    pub fn record_mut(&mut self, e: usize) -> &mut [u32] {
+        &mut self.data[e * self.stride..(e + 1) * self.stride]
+    }
+
+    /// The contiguous block of a range of records (a CSC column, in WarpLDA's
+    /// use), `records.len() * stride` words long.
+    pub fn block_mut(&mut self, records: std::ops::Range<usize>) -> &mut [u32] {
+        &mut self.data[records.start * self.stride..records.end * self.stride]
+    }
+
+    /// Iterates the primary values of all records in order.
+    pub fn primaries(&self) -> impl Iterator<Item = u32> + '_ {
+        self.data.iter().step_by(self.stride).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_interleaved() {
+        let mut r = PackedRecords::new(3, 3);
+        for e in 0..3 {
+            let rec = r.record_mut(e);
+            rec[0] = 10 * e as u32;
+            rec[1] = 10 * e as u32 + 1;
+            rec[2] = 10 * e as u32 + 2;
+        }
+        assert_eq!(r.as_slice(), &[0, 1, 2, 10, 11, 12, 20, 21, 22]);
+        assert_eq!(r.primary(1), 10);
+        assert_eq!(r.record(2), &[20, 21, 22]);
+        assert_eq!(r.primaries().collect::<Vec<_>>(), vec![0, 10, 20]);
+        r.set_primary(0, 99);
+        assert_eq!(r.primary(0), 99);
+    }
+
+    #[test]
+    fn block_of_a_record_range_is_contiguous() {
+        let mut r = PackedRecords::new(4, 2);
+        for (i, w) in r.as_mut_slice().iter_mut().enumerate() {
+            *w = i as u32;
+        }
+        assert_eq!(r.block_mut(1..3), &[2, 3, 4, 5]);
+        assert_eq!(r.block_mut(0..0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn from_raw_round_trips() {
+        let r = PackedRecords::from_raw(vec![7, 8, 9, 10], 2);
+        assert_eq!(r.num_records(), 2);
+        assert_eq!(r.stride(), 2);
+        assert_eq!(r.primary(1), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn from_raw_rejects_ragged_buffers() {
+        let _ = PackedRecords::from_raw(vec![1, 2, 3], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the primary")]
+    fn zero_stride_rejected() {
+        let _ = PackedRecords::new(4, 0);
+    }
+}

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use warplda::cachesim::{MemoryProbe, NoProbe};
 use warplda::lda::counts::{DenseCounts, HashCounts, TopicCounts};
 use warplda::prelude::*;
-use warplda::sampling::{new_rng, AliasTable, FTree};
+use warplda::sampling::{new_rng, AliasBuildScratch, AliasTable, FTree, SparseAliasTable};
 use warplda::sparse::{imbalance_index, partition_by_size, TokenMatrix};
 
 // ---------------------------------------------------------------------------
@@ -33,6 +33,30 @@ proptest! {
                 "outcome {}: observed {} expected {}", i, observed, expected);
             if w == 0.0 {
                 prop_assert_eq!(counts[i], 0, "zero-weight outcome sampled");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_alias_rebuild_matches_fresh_build(
+        tables in prop::collection::vec(
+            prop::collection::vec((0u32..500, 0.0f64..10.0), 1..40), 1..6),
+        seed in 0u64..1000,
+    ) {
+        // Rebuilding one table in place across a sequence of differently
+        // sized distributions (the WarpLDA word-phase pattern) must draw
+        // exactly what a freshly constructed table draws.
+        let mut scratch = AliasBuildScratch::new();
+        let mut reused = SparseAliasTable::with_capacity(1);
+        for entries in &tables {
+            reused.rebuild(entries, &mut scratch);
+            let fresh = SparseAliasTable::new(entries);
+            prop_assert_eq!(reused.len(), fresh.len());
+            prop_assert_eq!(reused.total_weight().to_bits(), fresh.total_weight().to_bits());
+            let mut r1 = new_rng(seed);
+            let mut r2 = new_rng(seed);
+            for _ in 0..500 {
+                prop_assert_eq!(reused.sample(&mut r1), fresh.sample(&mut r2));
             }
         }
     }

@@ -128,6 +128,13 @@ fn corrupted_checkpoints_are_rejected() {
         Err(CodecError::UnsupportedVersion(42))
     ));
 
+    // A legacy v1 file (split assignment/proposal arrays, pre-packed-record
+    // layout): rejected with the dedicated typed error, not misread.
+    let mut legacy = buf.clone();
+    legacy[8..12].copy_from_slice(&1u32.to_le_bytes());
+    let err = read_checkpoint(&mut target, &mut legacy.as_slice()).unwrap_err();
+    assert!(matches!(err, CodecError::LegacyVersion(1)), "{err}");
+
     // None of the rejections left the target partially overwritten in a way
     // that breaks it: it still runs.
     target.run_iteration();

@@ -1,0 +1,99 @@
+//! Pins the zero-allocation guarantee of the WarpLDA hot path.
+//!
+//! A counting global allocator tallies every heap operation of this test
+//! binary. After a warm-up pass (which populates the count-vector pool's
+//! capacity classes and grows the alias/scratch buffers to their high-water
+//! marks), steady-state serial iterations must perform **zero** heap
+//! allocations, and parallel iterations must stay at a small constant (the
+//! scoped-thread spawns) independent of corpus size.
+//!
+//! This file deliberately contains a single `#[test]`: the harness runs the
+//! tests of one binary concurrently, so a second test would pollute the
+//! global counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use warplda::prelude::*;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOC_CALLS.load(Relaxed);
+    f();
+    ALLOC_CALLS.load(Relaxed) - before
+}
+
+#[test]
+fn steady_state_iterations_do_not_allocate() {
+    // K chosen above 2·L for both documents and most words, so the hash
+    // count path (the one that used to allocate a fresh table per visit) is
+    // exercised alongside the dense path.
+    let params = ModelParams::new(100, 0.5, 0.05);
+    let config = WarpLdaConfig::with_mh_steps(2);
+
+    // --- Serial: strictly zero allocations after warm-up. ---
+    for scale in [4usize, 1] {
+        let corpus = DatasetPreset::Tiny.generate_scaled(scale);
+        let mut sampler = WarpLda::new(&corpus, params, config, 7);
+        for _ in 0..2 {
+            sampler.run_iteration(); // warm-up: pool classes + buffer high-water
+        }
+        let allocs = allocs_during(|| {
+            for _ in 0..3 {
+                sampler.run_iteration();
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "serial WarpLDA must not allocate in steady state (corpus scale 1/{scale})"
+        );
+        // The iterations above must still be doing real work.
+        assert_eq!(sampler.iterations(), 5);
+    }
+
+    // --- Parallel: worker scratch persists, so the only remaining
+    // allocations are the scoped-thread spawns — a small constant that must
+    // not grow with the corpus. ---
+    let mut per_scale = Vec::new();
+    for scale in [4usize, 1] {
+        let corpus = DatasetPreset::Tiny.generate_scaled(scale);
+        let mut sampler = ParallelWarpLda::new(&corpus, params, config, 7, 4);
+        for _ in 0..2 {
+            sampler.run_iteration();
+        }
+        let allocs = allocs_during(|| sampler.run_iteration());
+        assert!(
+            allocs <= 200,
+            "parallel WarpLDA should only pay the thread spawns, got {allocs} allocations"
+        );
+        per_scale.push(allocs);
+    }
+    // 4x the tokens must not mean more allocations: the cost is per-spawn,
+    // not per-token. Allow slack for the allocator's thread-stack caching.
+    assert!(
+        per_scale[1] <= per_scale[0] + 32,
+        "parallel allocations grew with corpus size: {per_scale:?}"
+    );
+}
