@@ -406,6 +406,32 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
+    if args.iter().any(|a| a == "--validate-latency") {
+        // Schema-checks a serve report (the `latency` block the serving demo
+        // emits); run by CI after the loopback smoke.
+        let Some(path) = arg_value(&args, "--validate-latency") else {
+            eprintln!("[perf_report] --validate-latency requires a file path");
+            std::process::exit(2);
+        };
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("[perf_report] cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        match warplda_bench::latency::validate_serve_report(&text) {
+            Ok(s) => println!(
+                "[perf_report] {path}: latency block OK ({} requests, p50 {}µs, p95 {}µs, p99 {}µs)",
+                s.count, s.p50_us, s.p95_us, s.p99_us
+            ),
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("[perf_report] {path}: {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     if args.iter().any(|a| a == "--validate") {
         // A bare `--validate` must fail loudly, not fall through to a full
         // (minutes-long) measurement run that would make a CI validation

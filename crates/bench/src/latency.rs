@@ -1,0 +1,179 @@
+//! The `latency` block of the perf-report JSON schema.
+//!
+//! The query server (`warplda-serve`) accounts per-request service time as
+//! p50/p95/p99/max percentiles; this module is the bridge into the bench
+//! harness's JSON schema: a `latency` object that the serving demo emits and
+//! CI schema-validates (`perf_report --validate-latency`), the same
+//! discipline as the training-side `BENCH_*.json` reports.
+//!
+//! ```json
+//! "latency": {
+//!   "count": 200,
+//!   "mean_us": 812.4,
+//!   "p50_us": 640,
+//!   "p95_us": 2304,
+//!   "p99_us": 4608,
+//!   "max_us": 5120
+//! }
+//! ```
+
+use crate::json::Json;
+
+/// The required numeric fields of a `latency` block, in schema order.
+pub const LATENCY_FIELDS: [&str; 6] = ["count", "mean_us", "p50_us", "p95_us", "p99_us", "max_us"];
+
+/// A latency summary as carried by the JSON schema (microseconds).
+///
+/// Mirrors `warplda_serve::LatencyStats` field for field; the serve crate
+/// cannot depend on the bench crate (the bench crate sits above the facade),
+/// so the demo copies the five numbers across.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Requests measured.
+    pub count: u64,
+    /// Mean service time, µs.
+    pub mean_us: f64,
+    /// Median, µs.
+    pub p50_us: u64,
+    /// 95th percentile, µs.
+    pub p95_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+    /// Worst request, µs.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Renders the summary as a `latency` JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("count", Json::Num(self.count as f64));
+        o.set("mean_us", Json::Num(self.mean_us));
+        o.set("p50_us", Json::Num(self.p50_us as f64));
+        o.set("p95_us", Json::Num(self.p95_us as f64));
+        o.set("p99_us", Json::Num(self.p99_us as f64));
+        o.set("max_us", Json::Num(self.max_us as f64));
+        o
+    }
+
+    /// Parses a `latency` object previously emitted by
+    /// [`to_json`](Self::to_json).
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("latency block: missing numeric {key:?}"))
+        };
+        Ok(Self {
+            count: num("count")? as u64,
+            mean_us: num("mean_us")?,
+            p50_us: num("p50_us")? as u64,
+            p95_us: num("p95_us")? as u64,
+            p99_us: num("p99_us")? as u64,
+            max_us: num("max_us")? as u64,
+        })
+    }
+}
+
+/// Schema-validates the `latency` block of a serve report: all six fields
+/// present and numeric, percentiles monotone (`p50 ≤ p95 ≤ p99 ≤ max`), and
+/// a positive request count. `context` prefixes error messages.
+pub fn validate_latency_block(v: &Json, context: &str, errors: &mut Vec<String>) {
+    for field in LATENCY_FIELDS {
+        if v.get(field).and_then(Json::as_f64).is_none() {
+            errors.push(format!("{context}: missing numeric {field:?}"));
+        }
+    }
+    let Ok(s) = LatencySummary::from_json(v) else {
+        return; // field errors already recorded
+    };
+    if s.count == 0 {
+        errors.push(format!("{context}: zero requests measured"));
+    }
+    if !(s.p50_us <= s.p95_us && s.p95_us <= s.p99_us && s.p99_us <= s.max_us) {
+        errors.push(format!(
+            "{context}: percentiles not monotone (p50 {} / p95 {} / p99 {} / max {})",
+            s.p50_us, s.p95_us, s.p99_us, s.max_us
+        ));
+    }
+}
+
+/// Validates a whole serve-report file: a JSON document with a `schema`
+/// string and a valid `latency` block.
+pub fn validate_serve_report(text: &str) -> Result<LatencySummary, Vec<String>> {
+    let doc = Json::parse(text).map_err(|e| vec![format!("not valid JSON: {e}")])?;
+    let mut errors = Vec::new();
+    if doc.get("schema").and_then(Json::as_str).is_none() {
+        errors.push("missing \"schema\" string".to_string());
+    }
+    match doc.get("latency") {
+        Some(block) => validate_latency_block(block, "latency", &mut errors),
+        None => errors.push("missing \"latency\" block".to_string()),
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+    LatencySummary::from_json(doc.get("latency").expect("checked above")).map_err(|e| vec![e])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> LatencySummary {
+        LatencySummary {
+            count: 200,
+            mean_us: 812.4,
+            p50_us: 640,
+            p95_us: 2304,
+            p99_us: 4608,
+            max_us: 5120,
+        }
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let s = summary();
+        let json = s.to_json();
+        let back = LatencySummary::from_json(&json).unwrap();
+        assert_eq!(back, s);
+        let mut errors = Vec::new();
+        validate_latency_block(&json, "t", &mut errors);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn validation_catches_missing_and_non_monotone_fields() {
+        let mut json = summary().to_json();
+        json.set("p95_us", Json::Num(9_999_999.0)); // above p99
+        let mut errors = Vec::new();
+        validate_latency_block(&json, "t", &mut errors);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].contains("monotone"), "{errors:?}");
+
+        let mut json = summary().to_json();
+        json.set("p50_us", Json::Str("fast".into()));
+        let mut errors = Vec::new();
+        validate_latency_block(&json, "t", &mut errors);
+        assert!(errors.iter().any(|e| e.contains("p50_us")), "{errors:?}");
+    }
+
+    #[test]
+    fn serve_report_file_validation() {
+        let mut doc = Json::obj();
+        doc.set("schema", Json::Str("warplda-serve-report/1".into()));
+        doc.set("latency", summary().to_json());
+        let s = validate_serve_report(&doc.render()).unwrap();
+        assert_eq!(s.count, 200);
+
+        assert!(validate_serve_report("{}").is_err());
+        assert!(validate_serve_report("not json").is_err());
+        let mut bad = Json::obj();
+        bad.set("schema", Json::Str("x".into()));
+        let mut lat = summary().to_json();
+        lat.set("count", Json::Num(0.0));
+        bad.set("latency", lat);
+        let errors = validate_serve_report(&bad.render()).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("zero requests")), "{errors:?}");
+    }
+}

@@ -20,6 +20,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod json;
+pub mod latency;
 
 use std::fs;
 use std::io::Write as _;

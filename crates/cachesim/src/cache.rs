@@ -1,9 +1,7 @@
 //! A single set-associative cache level with LRU replacement.
 
-use serde::{Deserialize, Serialize};
-
 /// Result of a cache access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessOutcome {
     /// The line was present.
     Hit,
@@ -19,7 +17,7 @@ pub enum AccessOutcome {
 /// the sense that the number of sets is derived by integer division — any
 /// positive configuration works, which keeps the simulator flexible for
 /// sensitivity experiments.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SetAssociativeCache {
     line_size: u64,
     num_sets: u64,

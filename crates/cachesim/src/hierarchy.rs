@@ -1,11 +1,9 @@
 //! The three-level memory hierarchy of Table 1.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cache::{AccessOutcome, SetAssociativeCache};
 
 /// Configuration of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheLevelConfig {
     /// Capacity in bytes.
     pub size_bytes: u64,
@@ -18,7 +16,7 @@ pub struct CacheLevelConfig {
 }
 
 /// Configuration of the whole hierarchy (three cache levels + main memory).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// L1 data cache.
     pub l1: CacheLevelConfig,
@@ -85,7 +83,7 @@ impl HierarchyConfig {
 }
 
 /// Hit/miss/latency statistics accumulated by a [`MemoryHierarchy`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
     /// Total accesses.
     pub accesses: u64,

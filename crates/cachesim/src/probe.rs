@@ -12,12 +12,10 @@
 //! the cache simulator sees realistic line sharing within a region and no
 //! false sharing across regions.
 
-use serde::{Deserialize, Serialize};
-
 use crate::hierarchy::{HierarchyConfig, HierarchyStats, MemoryHierarchy};
 
 /// Identifier of a registered memory region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RegionId(pub u32);
 
 /// The instrumentation hook. All methods must be cheap; the samplers call
@@ -59,7 +57,7 @@ impl MemoryProbe for NoProbe {
 }
 
 /// Metadata of a registered region.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RegionInfo {
     /// Name supplied at registration (for reports).
     pub name: String,
@@ -72,7 +70,7 @@ pub struct RegionInfo {
 }
 
 /// Shared region registry used by the concrete probes.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RegionTable {
     regions: Vec<RegionInfo>,
     next_base: u64,

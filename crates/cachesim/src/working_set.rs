@@ -9,12 +9,10 @@
 
 use std::collections::HashSet;
 
-use serde::{Deserialize, Serialize};
-
 use crate::probe::{MemoryProbe, RegionId, RegionTable};
 
 /// What kind of scope the per-scope statistics correspond to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScopeKind {
     /// Scopes are documents (document-by-document visiting order).
     Document,
@@ -23,7 +21,7 @@ pub enum ScopeKind {
 }
 
 /// Aggregated report of a [`WorkingSetProbe`] run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkingSetReport {
     /// What the scopes were.
     pub scope_kind: ScopeKind,

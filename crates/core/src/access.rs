@@ -12,15 +12,13 @@
 //! the same rows as the paper, but with the symbolic quantities instantiated
 //! (e.g. `K_d = 38.2`) so the asymptotic claims can be checked numerically.
 
-use serde::{Deserialize, Serialize};
-
 use warplda_corpus::{Corpus, DocMajorView, WordMajorView};
 
 use crate::counts::TopicCounts;
 use crate::state::SamplerState;
 
 /// One row of Table 2, instantiated for a concrete corpus/model state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AccessProfile {
     /// Algorithm name.
     pub algorithm: &'static str,

@@ -1,13 +1,11 @@
 //! Model hyper-parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// Hyper-parameters of the LDA model: the number of topics `K` and the
 /// symmetric Dirichlet parameters `α` (document–topic) and `β` (topic–word).
 ///
 /// The paper's experiments use `α = 50/K` and `β = 0.01` (Section 6.1);
 /// [`ModelParams::paper_defaults`] reproduces that.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModelParams {
     /// Number of topics `K`.
     pub num_topics: usize,

@@ -103,6 +103,17 @@ impl SamplerState {
         &self.z
     }
 
+    /// Number of documents the state tracks counts for.
+    pub fn num_docs(&self) -> usize {
+        self.doc_counts.len()
+    }
+
+    /// Number of words the state tracks counts for (the vocabulary size of
+    /// the corpus the state was built over).
+    pub fn num_words(&self) -> usize {
+        self.word_counts.len()
+    }
+
     /// Per-document sparse counts.
     pub fn doc_counts(&self, doc: u32) -> &HashCounts {
         &self.doc_counts[doc as usize]

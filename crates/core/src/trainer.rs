@@ -145,6 +145,14 @@ pub struct IterationRecord {
     pub phase_seconds: Option<f64>,
     /// Log joint likelihood after this iteration, when evaluated.
     pub log_likelihood: Option<f64>,
+    /// Fold-in held-out metric after this iteration (by convention a
+    /// per-token perplexity on held-out documents), when the trainer was
+    /// given a held-out evaluation via [`Trainer::with_held_out_fn`].
+    /// Follows the same schedule as `log_likelihood` and runs on the same
+    /// overlapped background worker. `None` everywhere otherwise — the
+    /// metric is strictly opt-in because it costs a model freeze plus an
+    /// inference pass per evaluation point.
+    pub held_out: Option<f64>,
 }
 
 impl IterationRecord {
@@ -260,9 +268,15 @@ impl IterationLog {
             .collect()
     }
 
-    fn set_likelihood(&mut self, iteration: u64, ll: f64) {
+    /// The records that carry a held-out metric, in iteration order.
+    pub fn held_out_points(&self) -> impl Iterator<Item = &IterationRecord> {
+        self.records.iter().filter(|r| r.held_out.is_some())
+    }
+
+    fn set_evaluation(&mut self, iteration: u64, ll: f64, held_out: Option<f64>) {
         if let Some(r) = self.records.iter_mut().find(|r| r.iteration == iteration) {
             r.log_likelihood = Some(ll);
+            r.held_out = held_out;
         }
     }
 }
@@ -315,6 +329,7 @@ pub struct Trainer<'a> {
     doc_view: DocMajorView,
     word_view: WordMajorView,
     eval_fn: Option<EvalFn>,
+    held_out_fn: Option<EvalFn>,
 }
 
 impl<'a> Trainer<'a> {
@@ -337,12 +352,26 @@ impl<'a> Trainer<'a> {
             corpus.num_tokens(),
             "views must belong to the corpus"
         );
-        Self { corpus, doc_view, word_view, eval_fn: None }
+        Self { corpus, doc_view, word_view, eval_fn: None, held_out_fn: None }
     }
 
     /// Replaces the evaluation metric (default: log joint likelihood).
     pub fn with_eval_fn(mut self, f: EvalFn) -> Self {
         self.eval_fn = Some(f);
+        self
+    }
+
+    /// Opts into a fold-in held-out evaluation, recorded into
+    /// [`IterationRecord::held_out`] at the same schedule as the likelihood
+    /// and computed on the same overlapped background worker.
+    ///
+    /// The function receives the usual [`EvalInput`] snapshot of the
+    /// *training* corpus; a held-out evaluator is expected to rebuild the
+    /// model's counts from the snapshot (freeze a serving model) and score
+    /// its own held-out documents against them — the `warplda-serve` crate
+    /// provides exactly that closure.
+    pub fn with_held_out_fn(mut self, f: EvalFn) -> Self {
+        self.held_out_fn = Some(f);
         self
     }
 
@@ -470,6 +499,22 @@ impl<'a> Trainer<'a> {
             Some(f) => f.as_ref(),
             None => &default_eval,
         };
+        let held_out_fn: Option<&(dyn Fn(EvalInput<'_>) -> f64 + Send + Sync)> =
+            self.held_out_fn.as_deref();
+        // One evaluation = likelihood plus (opt-in) held-out metric, computed
+        // from the same snapshot so both describe the same iteration.
+        let evaluate = move |input: EvalInput<'_>| -> (f64, Option<f64>) {
+            let held = held_out_fn.map(|f| {
+                f(EvalInput {
+                    corpus: input.corpus,
+                    doc_view: input.doc_view,
+                    word_view: input.word_view,
+                    params: input.params,
+                    assignments: input.assignments,
+                })
+            });
+            (eval_fn(input), held)
+        };
 
         let mut result = Ok(());
         std::thread::scope(|scope| {
@@ -477,8 +522,9 @@ impl<'a> Trainer<'a> {
             // before spawning the next bounds memory and keeps results in
             // iteration order. By the time the next evaluation is due, the
             // previous worker has typically long finished.
-            let mut pending: Option<(u64, std::thread::ScopedJoinHandle<'_, f64>)> = None;
-            let mut evals: Vec<(u64, f64)> = Vec::new();
+            type EvalHandle<'s> = std::thread::ScopedJoinHandle<'s, (f64, Option<f64>)>;
+            let mut pending: Option<(u64, EvalHandle<'_>)> = None;
+            let mut evals: Vec<(u64, f64, Option<f64>)> = Vec::new();
             let mut sampling_secs = 0.0;
 
             for it in 1..=config.iterations {
@@ -493,6 +539,7 @@ impl<'a> Trainer<'a> {
                     tokens_per_sec: tokens_per_iter as f64 / iter_secs.max(1e-12),
                     phase_seconds: sampler.last_iteration_phase_seconds(),
                     log_likelihood: None,
+                    held_out: None,
                 });
 
                 if config.wants_eval(it) {
@@ -500,10 +547,11 @@ impl<'a> Trainer<'a> {
                     sampler.write_assignments_into(&mut snapshot);
                     if config.overlap_eval {
                         if let Some((i, handle)) = pending.take() {
-                            evals.push((i, handle.join().expect("evaluation worker panicked")));
+                            let (ll, held) = handle.join().expect("evaluation worker panicked");
+                            evals.push((i, ll, held));
                         }
                         let handle = scope.spawn(move || {
-                            eval_fn(EvalInput {
+                            evaluate(EvalInput {
                                 corpus,
                                 doc_view,
                                 word_view,
@@ -513,14 +561,14 @@ impl<'a> Trainer<'a> {
                         });
                         pending = Some((iteration, handle));
                     } else {
-                        let ll = eval_fn(EvalInput {
+                        let (ll, held) = evaluate(EvalInput {
                             corpus,
                             doc_view,
                             word_view,
                             params,
                             assignments: &snapshot,
                         });
-                        evals.push((iteration, ll));
+                        evals.push((iteration, ll, held));
                     }
                 }
 
@@ -538,10 +586,11 @@ impl<'a> Trainer<'a> {
             }
 
             if let Some((i, handle)) = pending.take() {
-                evals.push((i, handle.join().expect("evaluation worker panicked")));
+                let (ll, held) = handle.join().expect("evaluation worker panicked");
+                evals.push((i, ll, held));
             }
-            for (iteration, ll) in evals {
-                log.set_likelihood(iteration, ll);
+            for (iteration, ll, held) in evals {
+                log.set_evaluation(iteration, ll, held);
             }
         });
         result.map(|()| (log, checkpoints))
@@ -643,6 +692,42 @@ mod tests {
     }
 
     #[test]
+    fn held_out_metric_is_opt_in_and_follows_the_eval_schedule() {
+        let corpus = corpus();
+        let params = ModelParams::paper_defaults(6);
+        // Without the opt-in, no record carries a held-out value.
+        let trainer = Trainer::new(&corpus);
+        let mut s = WarpLda::new(&corpus, params, WarpLdaConfig::default(), 3);
+        let log = trainer.train(&TrainerConfig::new(4).eval_every(2), "plain", &mut s);
+        assert_eq!(log.held_out_points().count(), 0);
+
+        // With it, every evaluated iteration carries one, and the values are
+        // identical whether the evaluation is overlapped or inline (the
+        // metric is a pure function of the snapshot).
+        let metric: fn(EvalInput<'_>) -> f64 =
+            |input| input.assignments.iter().map(|&t| t as f64).sum::<f64>();
+        let mut runs = Vec::new();
+        for inline in [false, true] {
+            let trainer = Trainer::new(&corpus).with_held_out_fn(Box::new(metric));
+            let mut s = WarpLda::new(&corpus, params, WarpLdaConfig::default(), 3);
+            let mut config = TrainerConfig::new(4).eval_every(2);
+            if inline {
+                config = config.inline_eval();
+            }
+            let log = trainer.train(&config, "held-out", &mut s);
+            let points: Vec<(u64, f64)> =
+                log.held_out_points().map(|r| (r.iteration, r.held_out.unwrap())).collect();
+            assert_eq!(points.iter().map(|p| p.0).collect::<Vec<_>>(), vec![2, 4]);
+            for &(it, v) in &points {
+                assert!(log.likelihood_at(it).is_some());
+                assert!(v.is_finite(), "iteration {it}: {v}");
+            }
+            runs.push(points);
+        }
+        assert_eq!(runs[0], runs[1], "overlapped and inline held-out values must agree");
+    }
+
+    #[test]
     fn custom_eval_fn_replaces_the_metric() {
         let corpus = corpus();
         let trainer =
@@ -686,6 +771,7 @@ mod tests {
                 tokens_per_sec: 100.0,
                 phase_seconds: Some(0.5),
                 log_likelihood: Some(ll),
+                held_out: None,
             });
         }
         assert_eq!(log.iterations_to_reach(-60.0), Some(2));

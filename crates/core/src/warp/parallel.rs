@@ -34,7 +34,7 @@ use crossbeam::thread;
 use warplda_cachesim::NoProbe;
 use warplda_corpus::Corpus;
 use warplda_sampling::{new_rng, split_seed};
-use warplda_sparse::ChunkCursor;
+use warplda_sparse::{ChunkCursor, SendPtr};
 
 use crate::checkpoint::Checkpointable;
 use crate::params::ModelParams;
@@ -42,18 +42,6 @@ use crate::sampler::Sampler;
 use warplda_corpus::io::codec::{CodecResult, Decoder, Encoder};
 
 use super::{process_word_column, PhaseScratch, RecPtr, WarpLda, WarpLdaConfig};
-
-/// A copyable wrapper that lets worker threads share a raw pointer; see the
-/// module docs for the disjointness argument.
-struct SendPtr<T>(*mut T);
-impl<T> Clone for SendPtr<T> {
-    fn clone(&self) -> Self {
-        *self
-    }
-}
-impl<T> Copy for SendPtr<T> {}
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
 
 /// Reusable per-worker state: the shared phase scratch plus the worker's
 /// partial `c_k` accumulator. Persists across iterations.

@@ -30,6 +30,13 @@ pub enum CorpusError {
     },
     /// The input described an empty corpus where a non-empty one is required.
     Empty(&'static str),
+    /// A query contained a word that is not in the frozen vocabulary and the
+    /// caller's [`OovPolicy`](crate::io::OovPolicy) rejects out-of-vocabulary
+    /// words.
+    UnknownWord {
+        /// The offending (normalized) word.
+        word: String,
+    },
 }
 
 impl fmt::Display for CorpusError {
@@ -46,6 +53,9 @@ impl fmt::Display for CorpusError {
                 write!(f, "document id {doc} out of range for corpus of {num_docs} documents")
             }
             CorpusError::Empty(what) => write!(f, "empty input: {what}"),
+            CorpusError::UnknownWord { word } => {
+                write!(f, "word {word:?} is not in the model vocabulary")
+            }
         }
     }
 }

@@ -45,6 +45,12 @@ use crate::Vocabulary;
 /// Magic number opening every framed file: identifies WarpLDA checkpoints.
 pub const MAGIC: [u8; 8] = *b"WLDACKPT";
 
+/// Magic number of frozen serving models ([`MODEL_MAGIC`] files hold a
+/// read-optimized `TopicModel`, written by the `warplda-serve` crate). The
+/// container layout is identical to checkpoints; only the magic differs, so a
+/// checkpoint can never be misread as a model or vice versa.
+pub const MODEL_MAGIC: [u8; 8] = *b"WLDAMODL";
+
 /// Current format version of the framed container. Bump when the payload
 /// layout changes incompatibly; readers reject versions they do not know.
 /// See the module docs for the format history.
@@ -333,9 +339,22 @@ impl<'a> Decoder<'a> {
 }
 
 /// Wraps `payload` in the framed container (magic, version, length, checksum)
-/// and writes it to `w`.
+/// and writes it to `w` under the checkpoint magic. See
+/// [`write_framed_section`] for other section kinds.
 pub fn write_framed(w: &mut dyn Write, payload: &[u8]) -> CodecResult<()> {
-    w.write_all(&MAGIC)?;
+    write_framed_section(w, MAGIC, payload)
+}
+
+/// Reads a checkpoint-magic framed container from `r`, verifying magic,
+/// version, length and checksum, and returns the payload bytes.
+pub fn read_framed(r: &mut dyn Read) -> CodecResult<Vec<u8>> {
+    read_framed_section(r, MAGIC)
+}
+
+/// Wraps `payload` in the framed container under an explicit section magic
+/// ([`MAGIC`] for checkpoints, [`MODEL_MAGIC`] for frozen serving models).
+pub fn write_framed_section(w: &mut dyn Write, magic: [u8; 8], payload: &[u8]) -> CodecResult<()> {
+    w.write_all(&magic)?;
     w.write_all(&FORMAT_VERSION.to_le_bytes())?;
     w.write_all(&(payload.len() as u64).to_le_bytes())?;
     w.write_all(&fnv1a64(payload).to_le_bytes())?;
@@ -343,13 +362,15 @@ pub fn write_framed(w: &mut dyn Write, payload: &[u8]) -> CodecResult<()> {
     Ok(())
 }
 
-/// Reads a framed container from `r`, verifying magic, version, length and
-/// checksum, and returns the payload bytes.
-pub fn read_framed(r: &mut dyn Read) -> CodecResult<Vec<u8>> {
+/// Reads a framed container from `r`, requiring it to open with `expected_magic`
+/// (a file carrying a *different* section magic — e.g. a model where a
+/// checkpoint is expected — is rejected with [`CodecError::BadMagic`]), then
+/// verifies version, length and checksum and returns the payload bytes.
+pub fn read_framed_section(r: &mut dyn Read, expected_magic: [u8; 8]) -> CodecResult<Vec<u8>> {
     let mut dec = Decoder::new(r);
     let mut magic = [0u8; 8];
     dec.read_exact(&mut magic)?;
-    if magic != MAGIC {
+    if magic != expected_magic {
         return Err(CodecError::BadMagic);
     }
     let version = dec.read_u32()?;
@@ -475,6 +496,23 @@ mod tests {
         write_framed(&mut file, &payload).unwrap();
         let back = read_framed(&mut file.as_slice()).unwrap();
         assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn model_section_round_trips_and_is_not_a_checkpoint() {
+        let payload = b"frozen phi".to_vec();
+        let mut file = Vec::new();
+        write_framed_section(&mut file, MODEL_MAGIC, &payload).unwrap();
+        let back = read_framed_section(&mut file.as_slice(), MODEL_MAGIC).unwrap();
+        assert_eq!(back, payload);
+        // A model file must never decode as a checkpoint, nor vice versa.
+        assert!(matches!(read_framed(&mut file.as_slice()), Err(CodecError::BadMagic)));
+        let mut ckpt = Vec::new();
+        write_framed(&mut ckpt, &payload).unwrap();
+        assert!(matches!(
+            read_framed_section(&mut ckpt.as_slice(), MODEL_MAGIC),
+            Err(CodecError::BadMagic)
+        ));
     }
 
     #[test]

@@ -133,6 +133,66 @@ pub fn tokenize_text(text: &str, stop_words: &[&str]) -> Vec<String> {
     cleaned.split_whitespace().filter(|t| !stop_words.contains(t)).map(str::to_owned).collect()
 }
 
+/// What to do with query words that are not in the frozen vocabulary.
+///
+/// A serving vocabulary is frozen at model-freeze time, so unseen documents
+/// routinely contain words the model has never assigned topics to. The two
+/// policies of every production LDA deployment:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OovPolicy {
+    /// Silently drop out-of-vocabulary words and report how many were
+    /// dropped. The default: an unseen word carries no topic information
+    /// under a frozen model, so skipping it is the statistically honest
+    /// treatment.
+    #[default]
+    Skip,
+    /// Reject the whole query with [`CorpusError::UnknownWord`]. For callers
+    /// that would rather surface a vocabulary mismatch (e.g. a stale client
+    /// querying a re-trained model) than degrade silently.
+    Reject,
+}
+
+/// Tokenizes a raw-text query against a *frozen* [`Vocabulary`], applying the
+/// same normalization as [`tokenize_text`] (ASCII-alphanumeric, lower-cased,
+/// whitespace-split; stop words are assumed to simply be absent from the
+/// vocabulary). Known words are appended to `out` as ids; out-of-vocabulary
+/// words follow `policy`. Returns the number of OOV words dropped.
+///
+/// `scratch` stages the normalized text; both buffers are cleared first and
+/// reused across calls, so a caller holding onto them (the query server's
+/// workers do) tokenizes without heap allocation once they have grown to the
+/// largest query seen.
+pub fn tokenize_query_into(
+    vocab: &Vocabulary,
+    text: &str,
+    policy: OovPolicy,
+    scratch: &mut String,
+    out: &mut Vec<WordId>,
+) -> Result<usize, CorpusError> {
+    scratch.clear();
+    scratch.extend(text.chars().map(|c| {
+        if c.is_ascii_alphanumeric() {
+            c.to_ascii_lowercase()
+        } else {
+            ' '
+        }
+    }));
+    out.clear();
+    let mut oov = 0usize;
+    for token in scratch.split_whitespace() {
+        match vocab.get(token) {
+            Some(id) => out.push(id),
+            None => match policy {
+                OovPolicy::Skip => oov += 1,
+                OovPolicy::Reject => {
+                    return Err(CorpusError::UnknownWord { word: token.to_owned() })
+                }
+            },
+        }
+    }
+    Ok(oov)
+}
+
 /// A small default English stop-word list.
 pub const DEFAULT_STOP_WORDS: &[&str] = &[
     "a", "an", "the", "and", "or", "of", "to", "in", "is", "it", "for", "on", "with", "as", "by",
@@ -221,6 +281,39 @@ mod tests {
     fn tokenizer_keeps_digits() {
         let toks = tokenize_text("LDA-2016 scales to 11G tokens", &[]);
         assert_eq!(toks, vec!["lda", "2016", "scales", "to", "11g", "tokens"]);
+    }
+
+    #[test]
+    fn query_tokenizer_maps_known_words_and_applies_policy() {
+        let mut vocab = Vocabulary::new();
+        for w in ["apple", "iphone", "ios"] {
+            vocab.intern(w);
+        }
+        let mut scratch = String::new();
+        let mut ids = Vec::new();
+        // Skip policy: unknown words are counted, known ones mapped in order,
+        // with the same normalization as the corpus reader.
+        let oov = tokenize_query_into(
+            &vocab,
+            "APPLE's iPhone beats Android!",
+            OovPolicy::Skip,
+            &mut scratch,
+            &mut ids,
+        )
+        .unwrap();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(oov, 3, "\"s\", \"beats\" and \"android\" are out of vocabulary");
+        // Reject policy: the first unknown word fails the whole query.
+        let err =
+            tokenize_query_into(&vocab, "ios android", OovPolicy::Reject, &mut scratch, &mut ids)
+                .unwrap_err();
+        assert!(matches!(err, CorpusError::UnknownWord { ref word } if word == "android"), "{err}");
+        // Buffers are reused: an all-known query after the error is clean.
+        let oov =
+            tokenize_query_into(&vocab, "ios ios apple", OovPolicy::Reject, &mut scratch, &mut ids)
+                .unwrap();
+        assert_eq!(oov, 0);
+        assert_eq!(ids, vec![2, 2, 0]);
     }
 
     #[test]

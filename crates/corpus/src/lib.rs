@@ -35,6 +35,7 @@ pub mod vocab;
 pub use crate::corpus::{Corpus, CorpusBuilder};
 pub use document::Document;
 pub use error::CorpusError;
+pub use io::{tokenize_query_into, OovPolicy};
 pub use presets::DatasetPreset;
 pub use stats::CorpusStats;
 pub use synth::{LdaGenerator, SyntheticConfig, ZipfGenerator};

@@ -6,11 +6,9 @@
 //! the grid partition and the MH step count) and how long the all-to-all
 //! exchange of those bytes takes (a function of link bandwidth and latency).
 
-use serde::{Deserialize, Serialize};
-
 /// Simulated cluster: worker count plus the parameters of the all-to-all
 /// exchange cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterConfig {
     /// Number of machines `P`.
     pub workers: usize,

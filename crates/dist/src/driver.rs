@@ -14,8 +14,6 @@
 
 use std::time::Instant;
 
-use serde::{Deserialize, Serialize};
-
 use warplda_core::trainer::{IterationLog, IterationRecord};
 use warplda_core::{ModelParams, ParallelWarpLda, Sampler, WarpLdaConfig};
 use warplda_corpus::{Corpus, DocMajorView, WordMajorView};
@@ -25,7 +23,7 @@ use crate::cluster::ClusterConfig;
 use crate::grid::GridPartition;
 
 /// Accounting for one distributed iteration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IterationReport {
     /// Iteration number, 1-based.
     pub iteration: u64,
@@ -210,6 +208,8 @@ impl DistributedWarpLda {
                 // already free of the modeled communication cost.
                 phase_seconds: Some(r.compute_sec),
                 log_likelihood: r.log_likelihood,
+                // The distributed driver has no held-out evaluation path.
+                held_out: None,
             });
         }
         log

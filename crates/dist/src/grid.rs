@@ -9,13 +9,11 @@
 //! switch, which is exactly the all-to-all volume the paper's communication
 //! model charges.
 
-use serde::{Deserialize, Serialize};
-
 use warplda_corpus::{Corpus, DocId, DocMajorView, WordId, WordMajorView};
 use warplda_sparse::{imbalance_index, partition_by_size, partition_loads, PartitionStrategy};
 
 /// A P×P grid partition over the document-major and word-major views.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GridPartition {
     workers: usize,
     /// `doc_owner[d]` = machine owning document `d` in doc phases.

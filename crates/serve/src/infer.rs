@@ -1,0 +1,441 @@
+//! Fold-in inference: estimating θ_d for an unseen document under a frozen
+//! model.
+//!
+//! The engine runs the same Metropolis–Hastings machinery WarpLDA trains
+//! with, but with the topic–word side frozen: each sweep alternates, per
+//! token,
+//!
+//! * a **word proposal** `q_word(k) ∝ C_wk + β`, drawn in O(1) from the
+//!   model's pre-built alias tables. Its acceptance ratio only needs the
+//!   partial `c_d` and the frozen `c_k` — the `C_wk` factors of the target
+//!   and the proposal cancel, exactly the cancellation the paper exploits;
+//! * a **doc proposal** `q_doc(k) ∝ C_dk + α`, drawn by random positioning
+//!   over the document's current assignments. Its acceptance needs the
+//!   frozen `φ` ratio (two binary-searched `C_wk` lookups) plus the `¬i`
+//!   exclusion on `c_d`.
+//!
+//! After the sweeps, `θ_k = (C_dk + α) / (L_d + ᾱ)`.
+//!
+//! **Determinism.** Every request derives its RNG stream purely from its own
+//! seed, and all working state lives in the caller's [`InferScratch`] (fully
+//! reset per request). A request therefore produces bit-identical θ no matter
+//! which server worker runs it, how many workers exist, or what ran on the
+//! scratch before — the same discipline that makes parallel training
+//! thread-count independent.
+//!
+//! **Allocation.** Steady-state inference performs zero heap allocations:
+//! the scratch buffers grow to their high-water marks and are reused (pinned
+//! by the workspace's counting-allocator suite).
+
+use rand::Rng;
+
+use warplda_core::counts::{DenseCounts, TopicCounts};
+use warplda_sampling::{new_rng, split_seed, Dice};
+use warplda_sparse::{ChunkCursor, SendPtr};
+
+use crate::model::TopicModel;
+
+/// Stream index separating fold-in RNG streams from every training stream.
+const INFER_STREAM: u64 = 0x5EDE_D0C5;
+
+/// Tuning knobs of fold-in inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferConfig {
+    /// Number of MH sweeps over the document. Fold-in burn-in is fast —
+    /// 8–32 sweeps is the usual range; more sweeps sharpen θ at linear cost.
+    pub sweeps: usize,
+    /// Word-proposal/doc-proposal pairs per token per sweep (the `M` of the
+    /// training configuration).
+    pub mh_steps: usize,
+}
+
+impl Default for InferConfig {
+    fn default() -> Self {
+        Self { sweeps: 16, mh_steps: 2 }
+    }
+}
+
+impl InferConfig {
+    /// A config with a specific sweep count.
+    ///
+    /// # Panics
+    /// Panics if `sweeps` is zero.
+    pub fn with_sweeps(sweeps: usize) -> Self {
+        assert!(sweeps >= 1, "need at least one fold-in sweep");
+        Self { sweeps, ..Self::default() }
+    }
+}
+
+/// Reusable per-request working state. One scratch serves any number of
+/// sequential requests (each fully resets it); a server worker owns one, so
+/// steady-state request handling allocates nothing.
+#[derive(Debug)]
+pub struct InferScratch {
+    /// Current topic of each query token.
+    z: Vec<u32>,
+    /// Partial document–topic counts `c_d`.
+    cd: DenseCounts,
+    /// Number of topics `cd`/`theta` are sized for.
+    k: usize,
+    /// The estimated document–topic mixture, written by the last request.
+    theta: Vec<f64>,
+    /// Topics with non-zero counts, sorted by weight (descending).
+    top: Vec<(u32, f64)>,
+}
+
+impl InferScratch {
+    /// An empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        Self { z: Vec::new(), cd: DenseCounts::new(0), k: 0, theta: Vec::new(), top: Vec::new() }
+    }
+
+    fn ensure_topics(&mut self, k: usize) {
+        if self.k != k {
+            // Only on first use or after a hot swap to a model with a
+            // different K — never in the per-request steady state.
+            self.cd = DenseCounts::new(k);
+            self.theta = vec![0.0; k];
+            self.k = k;
+        }
+    }
+
+    /// The θ estimated by the most recent request (length `K`).
+    pub fn theta(&self) -> &[f64] {
+        &self.theta
+    }
+
+    /// The topics the most recent request actually assigned tokens to, as
+    /// `(topic, θ_topic)` pairs sorted by weight (descending, ties by topic
+    /// id). Topics carrying only the α-smoothing mass are omitted — they tie
+    /// at `α / (L + ᾱ)` and say nothing about the document.
+    pub fn top_topics(&self) -> &[(u32, f64)] {
+        &self.top
+    }
+}
+
+impl Default for InferScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// θ plus top topics of one inference, as owned data (the allocating
+/// convenience form of [`InferScratch`]'s borrowed views).
+#[derive(Debug, Clone)]
+pub struct InferenceResult {
+    /// The estimated document–topic mixture (length `K`, sums to 1).
+    pub theta: Vec<f64>,
+    /// Topics with assigned tokens, by descending θ.
+    pub top: Vec<(u32, f64)>,
+}
+
+/// The fold-in inference engine: a cheap view pairing a frozen model with an
+/// inference configuration. Construct one per request batch (it is two
+/// pointers) or keep one around — it holds no mutable state.
+#[derive(Debug, Clone, Copy)]
+pub struct InferenceEngine<'m> {
+    model: &'m TopicModel,
+    config: InferConfig,
+}
+
+impl<'m> InferenceEngine<'m> {
+    /// Creates an engine over a frozen model.
+    pub fn new(model: &'m TopicModel, config: InferConfig) -> Self {
+        assert!(config.sweeps >= 1, "need at least one fold-in sweep");
+        assert!(config.mh_steps >= 1, "need at least one MH pair per token");
+        Self { model, config }
+    }
+
+    /// The frozen model.
+    pub fn model(&self) -> &'m TopicModel {
+        self.model
+    }
+
+    /// The inference configuration.
+    pub fn config(&self) -> &InferConfig {
+        &self.config
+    }
+
+    /// Infers θ for `words` (token ids of the unseen document, OOV already
+    /// removed), writing θ and the top-topic list into `scratch`. The result
+    /// is a pure function of `(model, config, words, seed)`.
+    ///
+    /// # Panics
+    /// Panics if any word id is outside the model vocabulary — servers
+    /// validate ids at the protocol boundary, so an out-of-range id here is
+    /// caller error, not runtime input.
+    pub fn infer_into(&self, words: &[u32], seed: u64, scratch: &mut InferScratch) {
+        let model = self.model;
+        let k = model.num_topics();
+        let num_words = model.num_words() as u32;
+        assert!(
+            words.iter().all(|&w| w < num_words),
+            "word id out of range for the model vocabulary"
+        );
+        scratch.ensure_topics(k);
+        let params = model.params();
+        let (alpha, alpha_bar) = (params.alpha, params.alpha_bar());
+        let beta_bar = model.beta_bar();
+        let ck = model.topic_counts();
+        let len = words.len();
+
+        scratch.top.clear();
+        if len == 0 {
+            // No evidence: θ is the prior mean.
+            scratch.theta.fill(1.0 / k as f64);
+            return;
+        }
+
+        let mut rng = new_rng(split_seed(seed, INFER_STREAM));
+        let z = &mut scratch.z;
+        let cd = &mut scratch.cd;
+        cd.clear();
+
+        // Initialize each token from its word proposal: the document starts
+        // at the word-side posterior mode instead of uniform noise, which
+        // shortens burn-in.
+        z.clear();
+        for &w in words {
+            let t = model.sample_word_proposal(w, &mut rng);
+            z.push(t);
+            cd.increment(t);
+        }
+
+        let p_doc_count = len as f64 / (len as f64 + alpha_bar);
+        for _sweep in 0..self.config.sweeps {
+            for i in 0..len {
+                let w = words[i];
+                for _ in 0..self.config.mh_steps {
+                    // Word proposal: the C_wk factors of target and proposal
+                    // cancel; acceptance needs only c_d (¬i) and c_k.
+                    let t = model.sample_word_proposal(w, &mut rng);
+                    let cur = z[i];
+                    if t != cur {
+                        let cd_cur_excl = (cd.get(cur) - 1) as f64;
+                        let ratio = (cd.get(t) as f64 + alpha) / (cd_cur_excl + alpha)
+                            * (ck[cur as usize] as f64 + beta_bar)
+                            / (ck[t as usize] as f64 + beta_bar);
+                        if ratio >= 1.0 || rng.gen::<f64>() < ratio {
+                            cd.decrement(cur);
+                            cd.increment(t);
+                            z[i] = t;
+                        }
+                    }
+                    // Doc proposal by random positioning over the current
+                    // assignments; acceptance needs the frozen φ ratio plus
+                    // the ¬i exclusion on c_d.
+                    let t = if rng.gen::<f64>() < p_doc_count {
+                        z[rng.dice(len)]
+                    } else {
+                        rng.dice(k) as u32
+                    };
+                    let cur = z[i];
+                    if t != cur {
+                        let cd_cur = cd.get(cur) as f64;
+                        let ratio = (model.word_topic_count(w, t) as f64 + params.beta)
+                            / (model.word_topic_count(w, cur) as f64 + params.beta)
+                            * (ck[cur as usize] as f64 + beta_bar)
+                            / (ck[t as usize] as f64 + beta_bar)
+                            * (cd_cur + alpha)
+                            / (cd_cur - 1.0 + alpha);
+                        if ratio >= 1.0 || rng.gen::<f64>() < ratio {
+                            cd.decrement(cur);
+                            cd.increment(t);
+                            z[i] = t;
+                        }
+                    }
+                }
+            }
+        }
+
+        // θ_k = (C_dk + α) / (L + ᾱ), and the non-zero topics sorted for the
+        // top-topics view.
+        let denom = len as f64 + alpha_bar;
+        for (t, slot) in scratch.theta.iter_mut().enumerate() {
+            *slot = (cd.get(t as u32) as f64 + alpha) / denom;
+        }
+        let (theta, top) = (&scratch.theta, &mut scratch.top);
+        cd.for_each(|t, _| top.push((t, theta[t as usize])));
+        top.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`infer_into`](Self::infer_into).
+    pub fn infer(&self, words: &[u32], seed: u64) -> InferenceResult {
+        let mut scratch = InferScratch::new();
+        self.infer_into(words, seed, &mut scratch);
+        InferenceResult { theta: scratch.theta, top: scratch.top }
+    }
+
+    /// Infers θ for a batch of documents across `num_threads` workers pulling
+    /// document chunks from a [`ChunkCursor`] (the training work queue,
+    /// reused for serving-side batches). Document `i` uses the stream
+    /// `split_seed(base_seed, i)`, so the returned θ rows are bit-identical
+    /// for any thread count.
+    pub fn infer_batch(
+        &self,
+        docs: &[Vec<u32>],
+        base_seed: u64,
+        num_threads: usize,
+    ) -> Vec<Vec<f64>> {
+        let k = self.model.num_topics();
+        let n = docs.len();
+        let num_threads = num_threads.max(1);
+        let mut flat = vec![0.0f64; n * k];
+        if n == 0 {
+            return Vec::new();
+        }
+        if num_threads == 1 || n == 1 {
+            let mut scratch = InferScratch::new();
+            for (i, doc) in docs.iter().enumerate() {
+                self.infer_into(doc, split_seed(base_seed, i as u64), &mut scratch);
+                flat[i * k..(i + 1) * k].copy_from_slice(scratch.theta());
+            }
+        } else {
+            let cursor = ChunkCursor::for_workers(n, num_threads);
+            let flat_ptr = SendPtr(flat.as_mut_ptr());
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..num_threads {
+                    let cursor = &cursor;
+                    scope.spawn(move |_| {
+                        let flat_ptr = flat_ptr;
+                        let mut scratch = InferScratch::new();
+                        while let Some(chunk) = cursor.claim() {
+                            for i in chunk {
+                                self.infer_into(
+                                    &docs[i],
+                                    split_seed(base_seed, i as u64),
+                                    &mut scratch,
+                                );
+                                // SAFETY: each document index is claimed by
+                                // exactly one worker, so the k-wide output
+                                // slots never overlap.
+                                let row = unsafe {
+                                    std::slice::from_raw_parts_mut(flat_ptr.0.add(i * k), k)
+                                };
+                                row.copy_from_slice(scratch.theta());
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("batch inference worker panicked");
+        }
+        flat.chunks_exact(k).map(<[f64]>::to_vec).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warplda_core::{ModelParams, Sampler, WarpLda, WarpLdaConfig};
+    use warplda_corpus::{Corpus, CorpusBuilder};
+
+    fn themed() -> (Corpus, TopicModel) {
+        let mut b = CorpusBuilder::new();
+        for _ in 0..40 {
+            b.push_text_doc(["river", "lake", "water", "fish", "boat", "river"]);
+            b.push_text_doc(["desert", "sand", "dune", "cactus", "heat", "desert"]);
+        }
+        let corpus = b.build().unwrap();
+        let mut sampler = WarpLda::new(
+            &corpus,
+            ModelParams::new(2, 0.5, 0.1),
+            WarpLdaConfig::with_mh_steps(4),
+            7,
+        );
+        for _ in 0..60 {
+            sampler.run_iteration();
+        }
+        let model = TopicModel::freeze_sampler(&sampler, &corpus);
+        (corpus, model)
+    }
+
+    fn ids(corpus: &Corpus, words: &[&str]) -> Vec<u32> {
+        words.iter().map(|w| corpus.vocab().get(w).unwrap()).collect()
+    }
+
+    #[test]
+    fn theta_is_a_distribution_and_finds_the_planted_topic() {
+        let (corpus, model) = themed();
+        let engine = InferenceEngine::new(&model, InferConfig::default());
+        let water_doc = ids(&corpus, &["river", "water", "lake", "fish", "water"]);
+        let desert_doc = ids(&corpus, &["sand", "dune", "desert", "heat"]);
+        let a = engine.infer(&water_doc, 1);
+        let b = engine.infer(&desert_doc, 1);
+        for r in [&a, &b] {
+            let total: f64 = r.theta.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "θ sums to {total}");
+            assert!(!r.top.is_empty());
+        }
+        // The two documents peak on different topics, each decisively.
+        assert_ne!(a.top[0].0, b.top[0].0, "a: {:?}, b: {:?}", a.top, b.top);
+        assert!(a.theta[a.top[0].0 as usize] > 0.7, "{:?}", a.theta);
+        assert!(b.theta[b.top[0].0 as usize] > 0.7, "{:?}", b.theta);
+    }
+
+    #[test]
+    fn fixed_seed_is_bit_identical_and_scratch_reuse_is_clean() {
+        let (corpus, model) = themed();
+        let engine = InferenceEngine::new(&model, InferConfig::default());
+        let doc = ids(&corpus, &["river", "boat", "fish"]);
+        let other = ids(&corpus, &["desert", "heat", "sand", "dune", "cactus"]);
+        let fresh = engine.infer(&doc, 99);
+        // Run an unrelated query through the same scratch first: the reused
+        // buffers must not leak into the next request.
+        let mut scratch = InferScratch::new();
+        engine.infer_into(&other, 5, &mut scratch);
+        engine.infer_into(&doc, 99, &mut scratch);
+        assert_eq!(
+            fresh.theta.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            scratch.theta().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(fresh.top, scratch.top_topics());
+        // Different seeds explore differently.
+        let again = engine.infer(&doc, 100);
+        assert_eq!(fresh.theta.len(), again.theta.len());
+    }
+
+    #[test]
+    fn empty_document_returns_the_prior_mean() {
+        let (_, model) = themed();
+        let engine = InferenceEngine::new(&model, InferConfig::default());
+        let r = engine.infer(&[], 3);
+        for &v in &r.theta {
+            assert_eq!(v, 1.0 / model.num_topics() as f64);
+        }
+        assert!(r.top.is_empty());
+    }
+
+    #[test]
+    fn batch_inference_is_thread_count_independent() {
+        let (corpus, model) = themed();
+        let engine = InferenceEngine::new(&model, InferConfig::with_sweeps(8));
+        let docs: Vec<Vec<u32>> = (0..17)
+            .map(|i| {
+                if i % 2 == 0 {
+                    ids(&corpus, &["river", "lake", "boat"])
+                } else {
+                    ids(&corpus, &["sand", "heat", "cactus", "dune"])
+                }
+            })
+            .collect();
+        let reference = engine.infer_batch(&docs, 42, 1);
+        for threads in [2usize, 4] {
+            let got = engine.infer_batch(&docs, 42, threads);
+            for (i, (a, b)) in reference.iter().zip(&got).enumerate() {
+                let a: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, b, "doc {i} differs under {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "word id out of range")]
+    fn out_of_vocabulary_id_panics() {
+        let (_, model) = themed();
+        let engine = InferenceEngine::new(&model, InferConfig::default());
+        let _ = engine.infer(&[u32::MAX], 1);
+    }
+}

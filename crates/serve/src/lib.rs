@@ -1,0 +1,52 @@
+//! Online inference and serving for trained WarpLDA models.
+//!
+//! Training (the rest of the workspace) answers "what topics exist in this
+//! corpus?". This crate closes the loop to the production question: **"what
+//! topics is this *unseen* document about?"** — the core query of every
+//! deployed LDA system. It separates the read path from the write/train path
+//! the way a serving system must:
+//!
+//! * [`model`] — [`TopicModel`]: a **frozen**, read-optimized artifact. A
+//!   trained sampler's counts are converted once into smoothed word–topic
+//!   distributions φ plus one pre-built [`SparseAliasTable`] per word, so
+//!   query-time sampling reuses the paper's O(1) MH machinery with zero
+//!   rebuild cost. Models persist as `WLDAMODL` framed sections of the
+//!   workspace's binary codec (magic, version, checksum).
+//! * [`infer`] — [`InferenceEngine`]: **fold-in** inference. A few MH sweeps
+//!   alternate word-proposals (from the frozen alias tables) and
+//!   doc-proposals (random positioning over the partial θ_d) over the unseen
+//!   document, exactly the proposal/acceptance structure of WarpLDA training
+//!   but with φ held fixed. Per-request scratch comes from a reusable
+//!   [`InferScratch`], so steady-state inference is allocation-free, and each
+//!   request derives its own RNG stream from its seed — results are
+//!   bit-identical for a fixed request seed regardless of how many server
+//!   workers run.
+//! * [`server`] — [`Server`]: a std-only TCP query server. A fixed worker
+//!   pool drains a connection queue, pipelined requests are answered in
+//!   batches (one flush per drained batch), the live model is an
+//!   atomically hot-swappable `Arc` (promote a freshly trained checkpoint
+//!   without dropping a request), and per-server latency percentiles
+//!   (p50/p95/p99) accumulate in a lock-free log-scale histogram.
+//! * [`wire`] — the length-prefixed binary wire protocol shared by server
+//!   and client.
+//! * [`holdout`] — fold-in **held-out perplexity**: freeze the current
+//!   training state, infer θ for held-out documents, score per-token
+//!   perplexity. Plugs into the [`Trainer`](warplda_core::Trainer)'s opt-in
+//!   held-out metric.
+//!
+//! [`SparseAliasTable`]: warplda_sampling::SparseAliasTable
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod holdout;
+pub mod infer;
+pub mod model;
+pub mod server;
+pub mod wire;
+
+pub use holdout::{fold_in_perplexity, held_out_eval_fn, HeldOutSet};
+pub use infer::{InferConfig, InferScratch, InferenceEngine, InferenceResult};
+pub use model::{ModelHandle, TopicModel};
+pub use server::{Client, LatencyStats, Server, ServerConfig, ServerHandle};
+pub use wire::{Request, Response};

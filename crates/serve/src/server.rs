@@ -1,0 +1,714 @@
+//! The multi-threaded TCP query server.
+//!
+//! Deliberately std-only (the workspace has no async runtime to vendor):
+//! an acceptor thread pushes connections onto a condvar queue; a **fixed
+//! worker pool** drains it — the serving-side analogue of the training
+//! work-queue ([`ChunkCursor`](warplda_sparse::ChunkCursor)) discipline:
+//! no static assignment of connections to workers, whoever is free claims
+//! the next one.
+//!
+//! Three serving mechanics worth naming:
+//!
+//! * **Request batching.** Workers read through an incremental
+//!   [`FrameBuffer`]; after serving a request, any frames a pipelining
+//!   client already delivered are served back-to-back and the staged
+//!   responses flushed with a single write.
+//! * **Atomic hot swap.** The live model is an `Arc` slot behind a
+//!   [`ModelHandle`]; [`ServerHandle::swap_model`] promotes a new model
+//!   between requests without dropping in-flight ones, and responses carry
+//!   the model epoch so clients can observe the promotion.
+//! * **Latency accounting.** Per-request service time accumulates in a
+//!   lock-free log-scale histogram; [`ServerHandle::latency`] reports
+//!   p50/p95/p99/max, which the bench harness serializes into its JSON
+//!   schema.
+//!
+//! A warm worker serves a request with **zero heap allocations**: frame
+//! buffer, token vector, normalization scratch, inference scratch and
+//! response buffer are all worker-owned and reused (error responses may
+//! format a message — rejection is not the steady state).
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use warplda_corpus::{tokenize_query_into, OovPolicy};
+
+use crate::infer::{InferConfig, InferScratch, InferenceEngine};
+use crate::model::{ModelHandle, TopicModel};
+use crate::wire::{
+    decode_request, decode_response, encode_error_response, encode_ok_response, encode_request,
+    FrameBuffer, Request, RequestBody, RequestBodyView, Response, WireError,
+};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// What to do with out-of-vocabulary query words.
+    pub oov_policy: OovPolicy,
+    /// Fold-in inference configuration.
+    pub infer: InferConfig,
+    /// Socket read timeout; bounds how long a worker blocks on an idle
+    /// connection before polling the shutdown flag. Purely an internal
+    /// responsiveness knob — timeouts never drop buffered bytes.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            oov_policy: OovPolicy::Skip,
+            infer: InferConfig::default(),
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A config with a specific worker count.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn with_workers(workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one server worker");
+        Self { workers, ..Self::default() }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latency histogram
+// ---------------------------------------------------------------------------
+
+/// Sub-buckets per power of two (12.5% bucket resolution).
+const SUBBUCKETS: usize = 8;
+/// 64 exponents × 8 sub-buckets cover the whole u64 microsecond range.
+const NUM_BUCKETS: usize = 64 * SUBBUCKETS;
+
+/// Lock-free log-scale histogram of per-request service times.
+#[derive(Debug)]
+struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    fn new() -> Self {
+        Self {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        if us < SUBBUCKETS as u64 {
+            return us as usize; // exact below 8µs
+        }
+        let e = 63 - us.leading_zeros() as u64; // e >= 3 here
+        let sub = (us >> (e - 3)) & 0b111; // top 3 bits below the leader
+        ((e - 3) as usize) * SUBBUCKETS + SUBBUCKETS + sub as usize
+    }
+
+    /// Upper edge of a bucket: percentiles err on the conservative side.
+    fn bucket_upper(idx: usize) -> u64 {
+        if idx < SUBBUCKETS {
+            return idx as u64;
+        }
+        let e = (idx - SUBBUCKETS) / SUBBUCKETS + 3;
+        let sub = ((idx - SUBBUCKETS) % SUBBUCKETS) as u64;
+        (8 + sub + 1) << (e - 3)
+    }
+
+    fn record_us(&self, us: u64) {
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    fn percentile_us(&self, counts: &[u64], total: u64, p: f64) -> u64 {
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (idx, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                // The bucket's upper edge, clamped to the exact maximum: the
+                // edge can otherwise exceed max_us when the top-rank sample
+                // shares a bucket with the true max (p99 > max would then
+                // fail the schema's monotonicity check).
+                return Self::bucket_upper(idx).min(self.max_us.load(Ordering::Relaxed));
+            }
+        }
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    fn stats(&self) -> LatencyStats {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        let sum = self.sum_us.load(Ordering::Relaxed);
+        LatencyStats {
+            count: total,
+            mean_us: if total == 0 { 0.0 } else { sum as f64 / total as f64 },
+            p50_us: self.percentile_us(&counts, total, 50.0),
+            p95_us: self.percentile_us(&counts, total, 95.0),
+            p99_us: self.percentile_us(&counts, total, 99.0),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of the per-server latency accounting (microseconds).
+/// Percentiles come from a log-scale histogram with 12.5% bucket resolution,
+/// reported at the bucket's upper edge (conservative).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Requests served.
+    pub count: u64,
+    /// Mean service time.
+    pub mean_us: f64,
+    /// Median service time.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Worst request.
+    pub max_us: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Connection queue
+// ---------------------------------------------------------------------------
+
+/// The dynamic work queue feeding the fixed worker pool (connections instead
+/// of row/column chunks, a condvar instead of an atomic cursor — same
+/// claim-when-free discipline as [`warplda_sparse::ChunkCursor`]).
+#[derive(Debug)]
+struct ConnQueue {
+    pending: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn new() -> Self {
+        Self { pending: Mutex::new(VecDeque::new()), ready: Condvar::new() }
+    }
+
+    fn push(&self, stream: TcpStream) {
+        self.pending.lock().expect("queue poisoned").push_back(stream);
+        self.ready.notify_one();
+    }
+
+    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+        let mut q = self.pending.lock().expect("queue poisoned");
+        loop {
+            if let Some(stream) = q.pop_front() {
+                return Some(stream);
+            }
+            if shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            let (guard, _) =
+                self.ready.wait_timeout(q, Duration::from_millis(100)).expect("queue poisoned");
+            q = guard;
+        }
+    }
+
+    fn wake_all(&self) {
+        self.ready.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+struct Shared {
+    model: ModelHandle,
+    queue: ConnQueue,
+    latency: LatencyHistogram,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+}
+
+/// The query server. [`Server::bind`] spawns the acceptor and the worker
+/// pool and returns a [`ServerHandle`].
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback port),
+    /// serving `model` under `config`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        model: Arc<TopicModel>,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
+        assert!(config.workers >= 1, "need at least one server worker");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            model: ModelHandle::new(model),
+            queue: ConnQueue::new(),
+            latency: LatencyHistogram::new(),
+            config,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        shared.queue.push(stream);
+                    }
+                }
+            })
+        };
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        Ok(ServerHandle { addr: local_addr, shared, acceptor: Some(acceptor), workers })
+    }
+}
+
+/// Handle to a running server: address, hot swap, latency, shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (connect clients here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Atomically promotes `model`; in-flight requests finish on the model
+    /// they started with, every later request sees the new one. Returns the
+    /// replaced model.
+    pub fn swap_model(&self, model: Arc<TopicModel>) -> Arc<TopicModel> {
+        self.shared.model.swap(model)
+    }
+
+    /// Number of hot swaps performed so far (echoed in every response).
+    pub fn model_epoch(&self) -> u32 {
+        self.shared.model.epoch()
+    }
+
+    /// Snapshot of the per-server latency accounting.
+    pub fn latency(&self) -> LatencyStats {
+        self.shared.latency.stats()
+    }
+
+    /// Stops accepting, drains the workers and joins all threads. Workers
+    /// finish the connection they are serving (they notice the flag at the
+    /// next read-timeout tick at the latest).
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue.wake_all();
+        // Unblock the acceptor's blocking `accept` with a throwaway
+        // connection; it checks the flag before queueing anything.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+/// Everything a worker reuses across requests and connections; the reason a
+/// warm request is allocation-free.
+struct WorkerScratch {
+    frames: FrameBuffer,
+    out: Vec<u8>,
+    tokens: Vec<u32>,
+    normalize: String,
+    infer: InferScratch,
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut scratch = WorkerScratch {
+        frames: FrameBuffer::new(4096),
+        out: Vec::with_capacity(4096),
+        tokens: Vec::new(),
+        normalize: String::new(),
+        infer: InferScratch::new(),
+    };
+    while let Some(stream) = shared.queue.pop(&shared.shutdown) {
+        // Connection-level errors only poison that connection.
+        let _ = serve_connection(stream, shared, &mut scratch);
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    scratch: &mut WorkerScratch,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(shared.config.read_timeout))?;
+    scratch.frames.reset(); // discard any previous connection's tail
+    scratch.out.clear();
+    loop {
+        // Serve every already-buffered frame as one batch…
+        loop {
+            match scratch.frames.take_frame() {
+                Ok(Some(range)) => {
+                    let t0 = Instant::now();
+                    handle_request(shared, scratch, range);
+                    shared.latency.record_us(t0.elapsed().as_micros() as u64);
+                }
+                Ok(None) => break,
+                // Oversized/garbage framing: drop the connection (after
+                // flushing what we owe), the stream cannot be re-synced.
+                Err(_) => {
+                    let _ = stream.write_all(&scratch.out);
+                    scratch.out.clear();
+                    return Ok(());
+                }
+            }
+        }
+        // …then flush the batch with one write.
+        if !scratch.out.is_empty() {
+            stream.write_all(&scratch.out)?;
+            scratch.out.clear();
+        }
+        match scratch.frames.fill_from(&mut stream) {
+            Ok(0) => return Ok(()), // clean EOF
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Decodes, infers and appends exactly one response frame to `scratch.out`.
+fn handle_request(shared: &Shared, scratch: &mut WorkerScratch, range: std::ops::Range<usize>) {
+    let WorkerScratch { frames, out, tokens, normalize, infer } = scratch;
+    let payload = frames.payload(range);
+    let request = match decode_request(payload, tokens) {
+        Ok(r) => r,
+        Err(_) => {
+            encode_error_response(out, "malformed request");
+            return;
+        }
+    };
+    let (model, epoch) = shared.model.current();
+    let mut oov_dropped = 0u32;
+    match request.body {
+        RequestBodyView::Text(text) => {
+            let Some(vocab) = model.vocab() else {
+                encode_error_response(out, "model has no vocabulary; send token-id queries");
+                return;
+            };
+            match tokenize_query_into(vocab, text, shared.config.oov_policy, normalize, tokens) {
+                Ok(oov) => oov_dropped = oov as u32,
+                Err(e) => {
+                    encode_error_response(out, &e.to_string());
+                    return;
+                }
+            }
+        }
+        RequestBodyView::Tokens => {
+            let limit = model.num_words() as u32;
+            if tokens.iter().any(|&t| t >= limit) {
+                encode_error_response(out, "token id out of range for the model vocabulary");
+                return;
+            }
+        }
+    }
+    let engine = InferenceEngine::new(&model, shared.config.infer);
+    engine.infer_into(tokens, request.seed, infer);
+    let top = infer.top_topics();
+    let top = &top[..top.len().min(request.top_n as usize)];
+    encode_ok_response(out, epoch, tokens.len() as u32, oov_dropped, infer.theta(), top);
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// A small blocking client for the wire protocol, supporting pipelining
+/// ([`send`](Self::send) several requests, then [`recv`](Self::recv) the
+/// responses in order).
+pub struct Client {
+    stream: TcpStream,
+    frames: FrameBuffer,
+    out: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, frames: FrameBuffer::new(4096), out: Vec::new() })
+    }
+
+    /// Sends a request without waiting for the response.
+    pub fn send(&mut self, request: &Request) -> Result<(), WireError> {
+        self.out.clear();
+        encode_request(request, &mut self.out);
+        self.stream.write_all(&self.out)?;
+        Ok(())
+    }
+
+    /// Receives the next response.
+    pub fn recv(&mut self) -> Result<Response, WireError> {
+        loop {
+            if let Some(range) = self.frames.take_frame()? {
+                let payload = self.frames.payload(range);
+                return decode_response(payload);
+            }
+            if self.frames.fill_from(&mut self.stream)? == 0 {
+                return Err(WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+        }
+    }
+
+    /// Round trip of one raw-text query.
+    pub fn query_text(&mut self, text: &str, seed: u64, top_n: u32) -> Result<Response, WireError> {
+        self.send(&Request { seed, top_n, body: RequestBody::Text(text.to_owned()) })?;
+        self.recv()
+    }
+
+    /// Round trip of one pre-tokenized query.
+    pub fn query_tokens(
+        &mut self,
+        tokens: &[u32],
+        seed: u64,
+        top_n: u32,
+    ) -> Result<Response, WireError> {
+        self.send(&Request { seed, top_n, body: RequestBody::Tokens(tokens.to_vec()) })?;
+        self.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warplda_core::{ModelParams, Sampler, WarpLda, WarpLdaConfig};
+    use warplda_corpus::CorpusBuilder;
+
+    fn trained() -> Arc<TopicModel> {
+        let mut b = CorpusBuilder::new();
+        for _ in 0..30 {
+            b.push_text_doc(["river", "lake", "water", "fish"]);
+            b.push_text_doc(["desert", "sand", "dune", "heat"]);
+        }
+        let corpus = b.build().unwrap();
+        let mut s =
+            WarpLda::new(&corpus, ModelParams::new(2, 0.5, 0.1), WarpLdaConfig::default(), 5);
+        for _ in 0..40 {
+            s.run_iteration();
+        }
+        Arc::new(TopicModel::freeze_sampler(&s, &corpus))
+    }
+
+    #[test]
+    fn serves_text_and_token_queries_with_oov_accounting() {
+        let model = trained();
+        let handle = Server::bind("127.0.0.1:0", Arc::clone(&model), ServerConfig::default())
+            .expect("bind loopback");
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        let resp = client.query_text("river water zeppelin fish", 7, 4).unwrap();
+        let Response::Ok(reply) = resp else { panic!("expected ok: {resp:?}") };
+        assert_eq!(reply.model_epoch, 0);
+        assert_eq!(reply.tokens_used, 3);
+        assert_eq!(reply.oov_dropped, 1, "\"zeppelin\" is OOV");
+        assert_eq!(reply.theta.len(), 2);
+        assert!((reply.theta.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(!reply.top.is_empty());
+
+        // The same query, pre-tokenized, with the same seed: θ bit-identical.
+        let vocab_ids: Vec<u32> = ["river", "water", "fish"]
+            .iter()
+            .map(|w| model.vocab().unwrap().get(w).unwrap())
+            .collect();
+        let resp = client.query_tokens(&vocab_ids, 7, 4).unwrap();
+        let Response::Ok(tok_reply) = resp else { panic!("expected ok") };
+        assert_eq!(
+            tok_reply.theta.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            reply.theta.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        // Out-of-range token ids are rejected, the connection survives.
+        let resp = client.query_tokens(&[9_999_999], 1, 1).unwrap();
+        assert!(matches!(resp, Response::Error(_)));
+        let resp = client.query_tokens(&vocab_ids, 7, 4).unwrap();
+        assert!(matches!(resp, Response::Ok(_)));
+
+        let stats = handle.latency();
+        assert_eq!(stats.count, 4);
+        assert!(stats.p50_us <= stats.p95_us && stats.p95_us <= stats.p99_us);
+        assert!(stats.p99_us <= stats.max_us, "{stats:?}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn reject_policy_refuses_oov_queries() {
+        let model = trained();
+        let config = ServerConfig { oov_policy: OovPolicy::Reject, ..ServerConfig::default() };
+        let handle = Server::bind("127.0.0.1:0", model, config).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        match client.query_text("river zeppelin", 1, 2).unwrap() {
+            Response::Error(msg) => assert!(msg.contains("zeppelin"), "{msg}"),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let model = trained();
+        let handle = Server::bind("127.0.0.1:0", model, ServerConfig::with_workers(1)).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        for seed in 0..8u64 {
+            client
+                .send(&Request { seed, top_n: 1, body: RequestBody::Text("river water".into()) })
+                .unwrap();
+        }
+        let mut thetas = Vec::new();
+        for _ in 0..8 {
+            let Response::Ok(reply) = client.recv().unwrap() else { panic!("expected ok") };
+            thetas.push(reply.theta);
+        }
+        // Free the single worker before opening the next connection.
+        drop(client);
+        // Order preserved: seed s must reproduce its own direct query.
+        let mut check = Client::connect(handle.addr()).unwrap();
+        for (seed, theta) in thetas.iter().enumerate() {
+            let Response::Ok(reply) = check.query_text("river water", seed as u64, 1).unwrap()
+            else {
+                panic!("expected ok")
+            };
+            assert_eq!(
+                reply.theta.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                theta.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "response for seed {seed} out of order"
+            );
+        }
+        assert_eq!(handle.latency().count, 16);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn hot_swap_changes_the_epoch_without_dropping_the_connection() {
+        let model = trained();
+        let handle = Server::bind("127.0.0.1:0", model, ServerConfig::default()).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let Response::Ok(before) = client.query_text("river", 1, 1).unwrap() else {
+            panic!("expected ok")
+        };
+        assert_eq!(before.model_epoch, 0);
+        handle.swap_model(trained());
+        assert_eq!(handle.model_epoch(), 1);
+        let Response::Ok(after) = client.query_text("river", 1, 1).unwrap() else {
+            panic!("expected ok")
+        };
+        assert_eq!(after.model_epoch, 1, "same connection must see the promoted model");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_bytes_do_not_wedge_the_server() {
+        let model = trained();
+        let handle = Server::bind("127.0.0.1:0", model, ServerConfig::default()).unwrap();
+        // A frame whose payload is garbage gets an error response.
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.write_all(&3u32.to_le_bytes()).unwrap();
+        stream.write_all(&[0xFF, 0xFE, 0xFD]).unwrap();
+        let mut fb = FrameBuffer::new(64);
+        let resp = loop {
+            if let Some(range) = fb.take_frame().unwrap() {
+                break decode_response(fb.payload(range)).unwrap();
+            }
+            assert!(fb.fill_from(&mut stream).unwrap() > 0, "server closed early");
+        };
+        assert!(matches!(resp, Response::Error(_)));
+        drop(stream);
+        // And a fresh client still gets served.
+        let mut client = Client::connect(handle.addr()).unwrap();
+        assert!(matches!(client.query_text("river", 1, 1).unwrap(), Response::Ok(_)));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn latency_histogram_buckets_are_monotone() {
+        let h = LatencyHistogram::new();
+        for us in [0u64, 1, 5, 7, 8, 9, 100, 1_000, 65_537, u32::MAX as u64] {
+            let idx = LatencyHistogram::bucket_of(us);
+            assert!(idx < NUM_BUCKETS, "{us}µs -> bucket {idx}");
+            assert!(LatencyHistogram::bucket_upper(idx) >= us, "upper edge below sample for {us}");
+            h.record_us(us);
+        }
+        let stats = h.stats();
+        assert_eq!(stats.count, 10);
+        assert!(stats.p50_us <= stats.p99_us);
+        assert!(stats.p99_us <= stats.max_us, "{stats:?}");
+        assert_eq!(stats.max_us, u32::MAX as u64);
+        // Percentiles are clamped to the exact maximum: a bucket shared by
+        // the top-rank sample and the true max must not report p99 > max.
+        let h = LatencyHistogram::new();
+        h.record_us(9);
+        h.record_us(9);
+        let stats = h.stats();
+        assert_eq!(stats.max_us, 9);
+        assert_eq!(stats.p99_us, 9, "upper edge must clamp to the observed max");
+        // Exact small buckets: a 5µs sample reports exactly 5µs at p-low.
+        let h = LatencyHistogram::new();
+        h.record_us(5);
+        assert_eq!(h.stats().p50_us, 5);
+    }
+}

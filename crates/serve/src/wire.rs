@@ -1,0 +1,549 @@
+//! The length-prefixed binary wire protocol of the query server.
+//!
+//! Every message is one **frame**: a little-endian `u32` payload length
+//! followed by the payload. Requests and responses are versioned by a leading
+//! opcode/status byte, all integers little-endian, `f64` as IEEE-754 bit
+//! patterns (θ crosses the wire bit-exactly, which is what makes the
+//! end-to-end determinism tests meaningful).
+//!
+//! Request payload:
+//!
+//! ```text
+//! u8  opcode      1 = text query, 2 = token-id query
+//! u64 seed        request RNG stream (same seed ⇒ bit-identical θ)
+//! u32 top_n       max top topics to return
+//! --- opcode 1: u32 byte length + UTF-8 text
+//! --- opcode 2: u32 count + count × u32 word ids
+//! ```
+//!
+//! Response payload:
+//!
+//! ```text
+//! u8 status       0 = ok, 1 = error
+//! --- status 1: u32 byte length + UTF-8 message
+//! --- status 0:
+//! u32 model_epoch     hot-swap generation that served the request
+//! u32 tokens_used     query tokens actually folded in
+//! u32 oov_dropped     out-of-vocabulary words dropped (Skip policy)
+//! u32 k               number of topics
+//! k × f64             θ (bit-exact)
+//! u32 top_count       then top_count × (u32 topic, f64 weight)
+//! ```
+//!
+//! The server decodes requests and encodes responses against reusable
+//! buffers, so a warm worker serves requests without heap allocation; the
+//! [`FrameBuffer`] below is the incremental reader that makes that (and
+//! opportunistic request batching) possible.
+
+use std::io::Read;
+
+/// Frames larger than this are rejected before any allocation happens — a
+/// corrupt or hostile length prefix must not OOM the server.
+pub const MAX_FRAME_BYTES: u32 = 16 << 20;
+
+/// Opcode of a raw-text query (tokenized server-side against the frozen
+/// vocabulary).
+pub const OP_QUERY_TEXT: u8 = 1;
+/// Opcode of a pre-tokenized query (client already holds word ids).
+pub const OP_QUERY_TOKENS: u8 = 2;
+
+/// Response status: success.
+pub const STATUS_OK: u8 = 0;
+/// Response status: the request was rejected; the payload carries a message.
+pub const STATUS_ERROR: u8 = 1;
+
+/// Errors of the wire layer.
+#[derive(Debug)]
+pub enum WireError {
+    /// An underlying socket error.
+    Io(std::io::Error),
+    /// A frame announced a length above [`MAX_FRAME_BYTES`].
+    FrameTooLarge {
+        /// The announced length.
+        len: u32,
+    },
+    /// The payload did not parse (truncated fields, unknown opcode, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::FrameTooLarge { len } => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit")
+            }
+            WireError::Malformed(what) => write!(f, "malformed message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// A query request (the owning, client-side form).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// RNG stream of the request; a fixed seed reproduces θ bit-exactly.
+    pub seed: u64,
+    /// Maximum number of top topics to return.
+    pub top_n: u32,
+    /// The query body.
+    pub body: RequestBody,
+}
+
+/// The two query forms.
+#[derive(Debug, Clone)]
+pub enum RequestBody {
+    /// Raw text, tokenized server-side against the frozen vocabulary.
+    Text(String),
+    /// Pre-tokenized word ids.
+    Tokens(Vec<u32>),
+}
+
+/// A decoded response (client side).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The inference succeeded.
+    Ok(InferReply),
+    /// The server rejected the request.
+    Error(String),
+}
+
+/// The success payload of a [`Response`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferReply {
+    /// Hot-swap generation of the model that served the request.
+    pub model_epoch: u32,
+    /// Query tokens actually folded in.
+    pub tokens_used: u32,
+    /// Out-of-vocabulary words dropped under the Skip policy.
+    pub oov_dropped: u32,
+    /// θ, bit-exact as computed by the server.
+    pub theta: Vec<f64>,
+    /// Top topics as `(topic, θ_topic)`, best first.
+    pub top: Vec<(u32, f64)>,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding (appends one complete frame to `out`; allocation-free once `out`
+// has grown to its high-water mark).
+// ---------------------------------------------------------------------------
+
+fn begin_frame(out: &mut Vec<u8>) -> usize {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    at
+}
+
+fn end_frame(out: &mut [u8], at: usize) {
+    let len = (out.len() - at - 4) as u32;
+    out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Appends an encoded request frame to `out`.
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    let at = begin_frame(out);
+    match &req.body {
+        RequestBody::Text(text) => {
+            out.push(OP_QUERY_TEXT);
+            out.extend_from_slice(&req.seed.to_le_bytes());
+            out.extend_from_slice(&req.top_n.to_le_bytes());
+            out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+            out.extend_from_slice(text.as_bytes());
+        }
+        RequestBody::Tokens(tokens) => {
+            out.push(OP_QUERY_TOKENS);
+            out.extend_from_slice(&req.seed.to_le_bytes());
+            out.extend_from_slice(&req.top_n.to_le_bytes());
+            out.extend_from_slice(&(tokens.len() as u32).to_le_bytes());
+            for &t in tokens {
+                out.extend_from_slice(&t.to_le_bytes());
+            }
+        }
+    }
+    end_frame(out, at);
+}
+
+/// Appends a success-response frame to `out`.
+pub fn encode_ok_response(
+    out: &mut Vec<u8>,
+    model_epoch: u32,
+    tokens_used: u32,
+    oov_dropped: u32,
+    theta: &[f64],
+    top: &[(u32, f64)],
+) {
+    let at = begin_frame(out);
+    out.push(STATUS_OK);
+    out.extend_from_slice(&model_epoch.to_le_bytes());
+    out.extend_from_slice(&tokens_used.to_le_bytes());
+    out.extend_from_slice(&oov_dropped.to_le_bytes());
+    out.extend_from_slice(&(theta.len() as u32).to_le_bytes());
+    for &v in theta {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&(top.len() as u32).to_le_bytes());
+    for &(t, w) in top {
+        out.extend_from_slice(&t.to_le_bytes());
+        out.extend_from_slice(&w.to_bits().to_le_bytes());
+    }
+    end_frame(out, at);
+}
+
+/// Appends an error-response frame to `out`.
+pub fn encode_error_response(out: &mut Vec<u8>, message: &str) {
+    let at = begin_frame(out);
+    out.push(STATUS_ERROR);
+    out.extend_from_slice(&(message.len() as u32).to_le_bytes());
+    out.extend_from_slice(message.as_bytes());
+    end_frame(out, at);
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A zero-copy cursor over one payload.
+pub(crate) struct PayloadReader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> PayloadReader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.bytes.len() < n {
+            return Err(WireError::Malformed("truncated payload"));
+        }
+        let (head, rest) = self.bytes.split_at(n);
+        self.bytes = rest;
+        Ok(head)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn str_field(&mut self) -> Result<&'a str, WireError> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.take(len)?).map_err(|_| WireError::Malformed("invalid UTF-8"))
+    }
+
+    pub(crate) fn finish(self) -> Result<(), WireError> {
+        if self.bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+/// The borrowed, server-side view of a request. Token-id queries decode into
+/// the caller's reusable buffer so the server's hot path never allocates.
+#[derive(Debug)]
+pub(crate) struct RequestView<'a> {
+    pub seed: u64,
+    pub top_n: u32,
+    pub body: RequestBodyView<'a>,
+}
+
+#[derive(Debug)]
+pub(crate) enum RequestBodyView<'a> {
+    Text(&'a str),
+    /// Tokens were appended to the caller's buffer.
+    Tokens,
+}
+
+/// Decodes a request payload; token queries are written into `tokens_out`
+/// (cleared first).
+pub(crate) fn decode_request<'a>(
+    payload: &'a [u8],
+    tokens_out: &mut Vec<u32>,
+) -> Result<RequestView<'a>, WireError> {
+    let mut r = PayloadReader::new(payload);
+    let opcode = r.u8()?;
+    let seed = r.u64()?;
+    let top_n = r.u32()?;
+    match opcode {
+        OP_QUERY_TEXT => {
+            let text = r.str_field()?;
+            r.finish()?;
+            Ok(RequestView { seed, top_n, body: RequestBodyView::Text(text) })
+        }
+        OP_QUERY_TOKENS => {
+            let count = r.u32()? as usize;
+            tokens_out.clear();
+            for _ in 0..count {
+                tokens_out.push(r.u32()?);
+            }
+            r.finish()?;
+            Ok(RequestView { seed, top_n, body: RequestBodyView::Tokens })
+        }
+        _ => Err(WireError::Malformed("unknown request opcode")),
+    }
+}
+
+/// Decodes a response payload (client side; allocates the owned vectors).
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = PayloadReader::new(payload);
+    match r.u8()? {
+        STATUS_OK => {
+            let model_epoch = r.u32()?;
+            let tokens_used = r.u32()?;
+            let oov_dropped = r.u32()?;
+            let k = r.u32()? as usize;
+            let mut theta = Vec::with_capacity(k.min(1 << 16));
+            for _ in 0..k {
+                theta.push(r.f64()?);
+            }
+            let top_count = r.u32()? as usize;
+            let mut top = Vec::with_capacity(top_count.min(1 << 16));
+            for _ in 0..top_count {
+                let t = r.u32()?;
+                let w = r.f64()?;
+                top.push((t, w));
+            }
+            r.finish()?;
+            Ok(Response::Ok(InferReply { model_epoch, tokens_used, oov_dropped, theta, top }))
+        }
+        STATUS_ERROR => {
+            let msg = r.str_field()?.to_owned();
+            r.finish()?;
+            Ok(Response::Error(msg))
+        }
+        _ => Err(WireError::Malformed("unknown response status")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental frame reading
+// ---------------------------------------------------------------------------
+
+/// An incremental frame reader over a byte stream.
+///
+/// Unlike `read_exact`, a short or timed-out read never loses bytes: data
+/// accumulates in the internal buffer until a frame is complete. That is what
+/// lets server workers (a) poll their shutdown flag on read timeouts safely
+/// and (b) batch — after serving one request, any *already buffered* frames
+/// are served before the responses are flushed, so pipelined clients get one
+/// write per batch instead of one per request.
+#[derive(Debug)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl FrameBuffer {
+    /// A buffer starting at `capacity` bytes (it grows to the largest frame
+    /// seen and is then reused without further allocation).
+    pub fn new(capacity: usize) -> Self {
+        Self { buf: vec![0; capacity.max(4096)], start: 0, end: 0 }
+    }
+
+    /// Discards all buffered bytes (a worker reuses one buffer across
+    /// connections; a dead connection's tail must not leak into the next).
+    pub fn reset(&mut self) {
+        self.start = 0;
+        self.end = 0;
+    }
+
+    /// Returns `true` when at least one *complete* frame is already buffered
+    /// (the batching predicate: more work without touching the socket).
+    pub fn has_complete_frame(&self) -> bool {
+        let avail = self.end - self.start;
+        if avail < 4 {
+            return false;
+        }
+        let len =
+            u32::from_le_bytes(self.buf[self.start..self.start + 4].try_into().unwrap()) as usize;
+        avail >= 4 + len
+    }
+
+    /// Takes the next complete frame, if one is buffered, returning the
+    /// payload range (read it with [`payload`](Self::payload)). Rejects
+    /// oversized length prefixes before buffering their payload.
+    pub fn take_frame(&mut self) -> Result<Option<std::ops::Range<usize>>, WireError> {
+        if self.end - self.start < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[self.start..self.start + 4].try_into().unwrap());
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::FrameTooLarge { len });
+        }
+        let len = len as usize;
+        if self.end - self.start < 4 + len {
+            return Ok(None);
+        }
+        let range = self.start + 4..self.start + 4 + len;
+        self.start = range.end;
+        Ok(Some(range))
+    }
+
+    /// The bytes of a range returned by [`take_frame`](Self::take_frame).
+    /// Only valid until the next [`fill_from`](Self::fill_from).
+    pub fn payload(&self, range: std::ops::Range<usize>) -> &[u8] {
+        &self.buf[range]
+    }
+
+    /// Reads once from `r` into the buffer (compacting/growing first if
+    /// needed). Returns the number of bytes read — `0` means clean EOF.
+    /// `WouldBlock`/`TimedOut` errors pass through for the caller to treat
+    /// as "no data yet".
+    pub fn fill_from(&mut self, r: &mut impl Read) -> std::io::Result<usize> {
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        }
+        if self.end == self.buf.len() {
+            if self.start > 0 {
+                self.buf.copy_within(self.start..self.end, 0);
+                self.end -= self.start;
+                self.start = 0;
+            } else {
+                let new_len = self.buf.len() * 2;
+                self.buf.resize(new_len, 0);
+            }
+        }
+        let n = r.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_both_bodies() {
+        for body in [
+            RequestBody::Text("what topics is this about".into()),
+            RequestBody::Tokens(vec![3, 1, 4, 1, 5]),
+        ] {
+            let req = Request { seed: 0xDEAD_BEEF, top_n: 5, body };
+            let mut out = Vec::new();
+            encode_request(&req, &mut out);
+            // Frame length prefix is exact.
+            let len = u32::from_le_bytes(out[..4].try_into().unwrap()) as usize;
+            assert_eq!(len, out.len() - 4);
+            let mut tokens = Vec::new();
+            let view = decode_request(&out[4..], &mut tokens).unwrap();
+            assert_eq!(view.seed, 0xDEAD_BEEF);
+            assert_eq!(view.top_n, 5);
+            match (&req.body, &view.body) {
+                (RequestBody::Text(t), RequestBodyView::Text(v)) => assert_eq!(t, v),
+                (RequestBody::Tokens(t), RequestBodyView::Tokens) => assert_eq!(t, &tokens),
+                _ => panic!("body kind changed in flight"),
+            }
+        }
+    }
+
+    #[test]
+    fn response_round_trips_bit_exactly() {
+        let theta = vec![0.5, 0.25, 0.25f64.sqrt(), f64::MIN_POSITIVE];
+        let top = vec![(2u32, 0.25f64.sqrt()), (0, 0.5)];
+        let mut out = Vec::new();
+        encode_ok_response(&mut out, 7, 11, 2, &theta, &top);
+        let resp = decode_response(&out[4..]).unwrap();
+        let Response::Ok(reply) = resp else { panic!("expected ok") };
+        assert_eq!(reply.model_epoch, 7);
+        assert_eq!(reply.tokens_used, 11);
+        assert_eq!(reply.oov_dropped, 2);
+        assert_eq!(
+            reply.theta.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            theta.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(reply.top, top);
+
+        let mut out = Vec::new();
+        encode_error_response(&mut out, "unknown word \"qux\"");
+        match decode_response(&out[4..]).unwrap() {
+            Response::Error(msg) => assert!(msg.contains("qux")),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        let mut tokens = Vec::new();
+        assert!(decode_request(&[], &mut tokens).is_err());
+        assert!(decode_request(&[99], &mut tokens).is_err());
+        // Token count promising more data than present.
+        let mut out = Vec::new();
+        encode_request(
+            &Request { seed: 1, top_n: 1, body: RequestBody::Tokens(vec![1, 2, 3]) },
+            &mut out,
+        );
+        assert!(decode_request(&out[4..out.len() - 4], &mut tokens).is_err());
+        // Trailing garbage.
+        let mut out = Vec::new();
+        encode_request(
+            &Request { seed: 1, top_n: 1, body: RequestBody::Text("x".into()) },
+            &mut out,
+        );
+        out.push(0);
+        assert!(decode_request(&out[4..], &mut tokens).is_err());
+        assert!(decode_response(&[9]).is_err());
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_and_batched_frames() {
+        // Three frames, delivered in adversarial chunk sizes.
+        let mut stream = Vec::new();
+        for (i, text) in ["alpha", "beta", "gamma"].iter().enumerate() {
+            encode_request(
+                &Request { seed: i as u64, top_n: 1, body: RequestBody::Text((*text).into()) },
+                &mut stream,
+            );
+        }
+        for chunk_size in [1usize, 3, 7, stream.len()] {
+            let mut fb = FrameBuffer::new(8);
+            let mut seen = Vec::new();
+            let mut cursor = 0;
+            while cursor < stream.len() || fb.has_complete_frame() {
+                while let Some(range) = fb.take_frame().unwrap() {
+                    let mut tokens = Vec::new();
+                    let view = decode_request(fb.payload(range), &mut tokens).unwrap();
+                    seen.push(view.seed);
+                }
+                if cursor < stream.len() {
+                    let end = (cursor + chunk_size).min(stream.len());
+                    let mut src = &stream[cursor..end];
+                    let n = fb.fill_from(&mut src).unwrap();
+                    cursor += n;
+                }
+            }
+            assert_eq!(seen, vec![0, 1, 2], "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_buffering_it() {
+        let mut fb = FrameBuffer::new(16);
+        let huge = (MAX_FRAME_BYTES + 1).to_le_bytes();
+        let mut src = &huge[..];
+        fb.fill_from(&mut src).unwrap();
+        assert!(matches!(fb.take_frame(), Err(WireError::FrameTooLarge { .. })));
+    }
+}

@@ -35,7 +35,7 @@ pub mod records;
 
 pub use layout::DualLayoutMatrix;
 pub use matrix::{ColumnEntriesMut, RowEntriesMut, TokenMatrix};
-pub use parallel::{parallel_visit_by_column, parallel_visit_by_row};
+pub use parallel::{parallel_visit_by_column, parallel_visit_by_row, SendPtr};
 pub use partition::{
     imbalance_index, partition_by_size, partition_loads, ChunkCursor, PartitionStrategy,
 };

@@ -237,7 +237,14 @@ where
 }
 
 /// Copyable wrapper making a raw pointer `Send`/`Sync` for the scoped threads.
-struct SendPtr<T>(*mut T);
+/// A copyable raw-pointer wrapper for sharing a base pointer across scoped
+/// worker threads. The single home of the idiom used by every parallel
+/// driver in the workspace (sparse visitors, parallel WarpLDA, batch
+/// inference): each copy must only be dereferenced at indices the holding
+/// thread exclusively owns — disjoint rows/columns/chunks — which is what
+/// the `Send`/`Sync` impls rely on. A soundness argument accompanies every
+/// use site.
+pub struct SendPtr<T>(pub *mut T);
 impl<T> Clone for SendPtr<T> {
     fn clone(&self) -> Self {
         *self
@@ -245,7 +252,7 @@ impl<T> Clone for SendPtr<T> {
 }
 impl<T> Copy for SendPtr<T> {}
 // SAFETY: the pointer is only dereferenced at indices owned by a single
-// thread; see the module documentation.
+// thread; see the struct and module documentation.
 unsafe impl<T> Send for SendPtr<T> {}
 unsafe impl<T> Sync for SendPtr<T> {}
 

@@ -15,7 +15,9 @@
 //!   the memory-efficiency experiments;
 //! * [`lda`] — WarpLDA itself plus the CGS / SparseLDA / AliasLDA / F+LDA /
 //!   LightLDA baselines and the evaluation utilities;
-//! * [`dist`] — the simulated distributed runtime.
+//! * [`dist`] — the simulated distributed runtime;
+//! * [`serve`] — online serving: frozen [`TopicModel`](serve::TopicModel)
+//!   artifacts, the fold-in inference engine and the TCP query server.
 //!
 //! ## Quick start
 //!
@@ -47,6 +49,7 @@ pub use warplda_core as lda;
 pub use warplda_corpus as corpus;
 pub use warplda_dist as dist;
 pub use warplda_sampling as sampling;
+pub use warplda_serve as serve;
 pub use warplda_sparse as sparse;
 
 /// The most commonly used items, re-exported flat for `use warplda::prelude::*`.
@@ -63,9 +66,13 @@ pub mod prelude {
     };
     pub use warplda_corpus::{
         Corpus, CorpusBuilder, CorpusStats, DatasetPreset, DocMajorView, Document, LdaGenerator,
-        SyntheticConfig, Vocabulary, WordMajorView, ZipfGenerator,
+        OovPolicy, SyntheticConfig, Vocabulary, WordMajorView, ZipfGenerator,
     };
     pub use warplda_dist::{ClusterConfig, DistributedWarpLda, GridPartition};
+    pub use warplda_serve::{
+        fold_in_perplexity, held_out_eval_fn, Client, HeldOutSet, InferConfig, InferScratch,
+        InferenceEngine, LatencyStats, Server, ServerConfig, ServerHandle, TopicModel,
+    };
     pub use warplda_sparse::PartitionStrategy;
 }
 

@@ -1,0 +1,182 @@
+//! End-to-end serving suite: train → freeze → serve → query over loopback.
+//!
+//! The load-bearing property is the acceptance criterion of the serving
+//! subsystem: **θ is a pure function of the request**. A response produced by
+//! a multi-worker server under concurrent load must be bit-identical to a
+//! single-threaded engine run with the same request seed, for any worker
+//! count. Alongside it: the `WLDAMODL` artifact round trip (including
+//! corruption rejection at the codec level) and model hot swap under live
+//! traffic.
+
+use std::sync::Arc;
+
+use warplda::prelude::*;
+use warplda::serve::wire::Response;
+
+/// Trains a small model on the Tiny preset and freezes it.
+fn frozen_model() -> (Corpus, Arc<TopicModel>) {
+    let corpus = DatasetPreset::Tiny.generate_scaled(4);
+    let params = ModelParams::paper_defaults(8);
+    let mut sampler = WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(2), 42);
+    for _ in 0..15 {
+        sampler.run_iteration();
+    }
+    let model = Arc::new(TopicModel::freeze_sampler(&sampler, &corpus));
+    (corpus, model)
+}
+
+/// Unseen query documents as token ids: deterministic pseudo-documents over
+/// the preset vocabulary (none is a training document).
+fn queries(vocab_size: usize, n: usize) -> Vec<Vec<u32>> {
+    (0..n)
+        .map(|i| {
+            let len = 3 + (i % 9);
+            (0..len).map(|j| ((i * 131 + j * 17 + 7) % vocab_size) as u32).collect()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_queries_are_bit_identical_to_the_single_threaded_reference() {
+    let (corpus, model) = frozen_model();
+    let config = ServerConfig::default();
+    let docs = queries(corpus.vocab_size(), 120);
+
+    // Single-threaded reference: the engine, directly, same seeds.
+    let engine = InferenceEngine::new(&model, config.infer);
+    let mut scratch = InferScratch::new();
+    let reference: Vec<Vec<u64>> = docs
+        .iter()
+        .enumerate()
+        .map(|(i, doc)| {
+            engine.infer_into(doc, i as u64, &mut scratch);
+            scratch.theta().iter().map(|v| v.to_bits()).collect()
+        })
+        .collect();
+
+    for workers in [1usize, 2, 4] {
+        let handle =
+            Server::bind("127.0.0.1:0", Arc::clone(&model), ServerConfig { workers, ..config })
+                .expect("bind loopback");
+        let addr = handle.addr();
+
+        // ≥ 100 queries concurrently from 4 client threads (client c takes
+        // the indices i ≡ c mod 4), all in flight against `workers` server
+        // workers.
+        let num_clients = 4;
+        std::thread::scope(|scope| {
+            for c in 0..num_clients {
+                let docs = &docs;
+                let reference = &reference;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for (i, doc) in docs.iter().enumerate().filter(|(i, _)| i % num_clients == c) {
+                        let resp = client.query_tokens(doc, i as u64, 3).expect("query");
+                        let Response::Ok(reply) = resp else {
+                            panic!("query {i} rejected: {resp:?}")
+                        };
+                        let bits: Vec<u64> = reply.theta.iter().map(|v| v.to_bits()).collect();
+                        assert_eq!(
+                            bits, reference[i],
+                            "query {i}: θ differs from the single-threaded \
+                             reference under {workers} server workers"
+                        );
+                        assert_eq!(reply.tokens_used as usize, doc.len());
+                    }
+                });
+            }
+        });
+
+        let stats = handle.latency();
+        assert_eq!(stats.count as usize, docs.len(), "{workers} workers");
+        assert!(stats.p50_us <= stats.p95_us && stats.p95_us <= stats.p99_us);
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn model_artifact_round_trips_on_disk_and_rejects_corruption() {
+    use warplda::corpus::io::codec::CodecError;
+
+    let (corpus, model) = frozen_model();
+    let dir = std::env::temp_dir().join(format!("warplda-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.wldamodl");
+    model.save(&path).expect("save model");
+
+    // The loaded artifact answers queries bit-identically to the original.
+    let loaded = TopicModel::load(&path).expect("load model");
+    let config = InferConfig::default();
+    let doc: Vec<u32> = queries(corpus.vocab_size(), 1).remove(0);
+    let a = InferenceEngine::new(&model, config).infer(&doc, 9);
+    let b = InferenceEngine::new(&loaded, config).infer(&doc, 9);
+    assert_eq!(
+        a.theta.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        b.theta.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+
+    // Codec-level rejection: flipped payload byte, truncation, wrong magic.
+    let bytes = std::fs::read(&path).unwrap();
+    let mut flipped = bytes.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x40;
+    assert!(matches!(
+        TopicModel::read(&mut flipped.as_slice()),
+        Err(CodecError::ChecksumMismatch { .. })
+    ));
+    let mut truncated = bytes.clone();
+    truncated.truncate(truncated.len() / 2);
+    assert!(matches!(TopicModel::read(&mut truncated.as_slice()), Err(CodecError::Io(_))));
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[..8].copy_from_slice(b"WLDACKPT");
+    assert!(matches!(TopicModel::read(&mut wrong_magic.as_slice()), Err(CodecError::BadMagic)));
+    // And the converse: a real checkpoint is not a model.
+    let ckpt_path = dir.join("sampler.ckpt");
+    let mut sampler = WarpLda::new(&corpus, *model.params(), WarpLdaConfig::with_mh_steps(2), 42);
+    sampler.run_iteration();
+    save_checkpoint(&sampler, Some(corpus.vocab()), &ckpt_path).unwrap();
+    assert!(matches!(TopicModel::load(&ckpt_path), Err(CodecError::BadMagic)));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hot_swap_under_live_traffic_never_drops_a_request() {
+    let (corpus, model) = frozen_model();
+    let handle = Server::bind("127.0.0.1:0", Arc::clone(&model), ServerConfig::with_workers(2))
+        .expect("bind loopback");
+    let addr = handle.addr();
+    let docs = queries(corpus.vocab_size(), 60);
+
+    std::thread::scope(|scope| {
+        let worker = scope.spawn(|| {
+            let mut epochs_seen = Vec::new();
+            let mut client = Client::connect(addr).expect("connect");
+            for (i, doc) in docs.iter().enumerate() {
+                match client.query_tokens(doc, i as u64, 1).expect("query") {
+                    Response::Ok(reply) => epochs_seen.push(reply.model_epoch),
+                    Response::Error(e) => panic!("request dropped during swap: {e}"),
+                }
+            }
+            epochs_seen
+        });
+        // Promote a re-frozen model mid-stream (the state is identical, the
+        // artifact is new — what a checkpoint promotion looks like).
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let mut retrained =
+            WarpLda::new(&corpus, *model.params(), WarpLdaConfig::with_mh_steps(2), 43);
+        for _ in 0..3 {
+            retrained.run_iteration();
+        }
+        handle.swap_model(Arc::new(TopicModel::freeze_sampler(&retrained, &corpus)));
+        let epochs = worker.join().expect("client thread");
+        // Every request was answered, each by a well-defined model
+        // generation, and the sequence is monotone (no request went back in
+        // time after the promotion).
+        assert_eq!(epochs.len(), docs.len());
+        assert!(epochs.windows(2).all(|w| w[0] <= w[1]), "epochs regressed: {epochs:?}");
+        assert!(epochs.iter().all(|&e| e <= 1));
+    });
+    assert_eq!(handle.model_epoch(), 1);
+    handle.shutdown();
+}

@@ -1,11 +1,13 @@
-//! Pins the zero-allocation guarantee of the WarpLDA hot path.
+//! Pins the zero-allocation guarantees of the WarpLDA hot paths: training
+//! iterations *and* serving-side fold-in inference.
 //!
 //! A counting global allocator tallies every heap operation of this test
 //! binary. After a warm-up pass (which populates the count-vector pool's
 //! capacity classes and grows the alias/scratch buffers to their high-water
 //! marks), steady-state serial iterations must perform **zero** heap
-//! allocations, and parallel iterations must stay at a small constant (the
-//! scoped-thread spawns) independent of corpus size.
+//! allocations, parallel iterations must stay at a small constant (the
+//! scoped-thread spawns) independent of corpus size, and steady-state
+//! inference over a frozen model must be **zero allocations per request**.
 //!
 //! This file deliberately contains a single `#[test]`: the harness runs the
 //! tests of one binary concurrently, so a second test would pollute the
@@ -96,4 +98,36 @@ fn steady_state_iterations_do_not_allocate() {
         per_scale[1] <= per_scale[0] + 32,
         "parallel allocations grew with corpus size: {per_scale:?}"
     );
+
+    // --- Serving: steady-state fold-in inference is zero allocations per
+    // request. The first request grows the scratch (token assignments, c_d,
+    // θ, top list) to its high-water mark; every later request — including
+    // ones for different documents and seeds — reuses it. ---
+    let corpus = DatasetPreset::Tiny.generate_scaled(2);
+    let mut sampler = WarpLda::new(&corpus, params, config, 7);
+    for _ in 0..3 {
+        sampler.run_iteration();
+    }
+    let model = TopicModel::freeze_sampler(&sampler, &corpus);
+    let engine = InferenceEngine::new(&model, InferConfig::default());
+    let docs: Vec<Vec<u32>> = (0..8usize)
+        .map(|i| (0..4 + i).map(|j| ((i * 31 + j * 7) % corpus.vocab_size()) as u32).collect())
+        .collect();
+    let mut scratch = InferScratch::new();
+    // Warm-up on the *largest* request shapes so the buffers reach their
+    // high-water marks.
+    for (i, doc) in docs.iter().enumerate() {
+        engine.infer_into(doc, i as u64, &mut scratch);
+    }
+    let allocs = allocs_during(|| {
+        for round in 0..3u64 {
+            for (i, doc) in docs.iter().enumerate() {
+                engine.infer_into(doc, round * 100 + i as u64, &mut scratch);
+            }
+        }
+    });
+    assert_eq!(allocs, 0, "steady-state inference must not allocate per request");
+    // The requests above did real work: θ is a fresh distribution.
+    let total: f64 = scratch.theta().iter().sum();
+    assert!((total - 1.0).abs() < 1e-9);
 }
