@@ -1,0 +1,109 @@
+//! Measured scaling curve of the real multi-process backend.
+//!
+//! Spawns `ProcessCluster`s of increasing worker counts over the same corpus
+//! and seed, measures wall-clock throughput and loopback bytes per worker
+//! count, cross-checks every run's final assignments against the in-process
+//! `ParallelWarpLda` oracle, and writes the `warplda-dist-scaling/1` JSON
+//! curve that `perf_report --validate-scaling` schema-checks in CI.
+//!
+//! ```text
+//! cargo run --release -p warplda-bench --bin dist_scaling            # 1/2/4 workers
+//! cargo run --release -p warplda-bench --bin dist_scaling -- --tiny  # CI smoke budget
+//! cargo run --release -p warplda-bench --bin dist_scaling -- --out target/dist_scaling.json
+//! ```
+
+use warplda::prelude::*;
+use warplda_bench::scaling::{scaling_report, ScalingPoint};
+
+const SEED: u64 = 42;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "target/dist_scaling.json".to_string());
+
+    let (preset_name, corpus, topics, worker_counts, iterations): (_, _, _, &[usize], u64) = if tiny
+    {
+        ("tiny", DatasetPreset::Tiny.generate_scaled(2), 12, &[1, 2], 3)
+    } else {
+        ("nytimes-like/20", DatasetPreset::NyTimesLike.generate_scaled(20), 32, &[1, 2, 4], 5)
+    };
+    let params = ModelParams::paper_defaults(topics);
+    let config = WarpLdaConfig::with_mh_steps(2);
+    let tokens = corpus.num_tokens();
+    eprintln!(
+        "[dist_scaling] {preset_name}: {} docs, {tokens} tokens, K = {topics}, \
+         {iterations} iterations per point",
+        corpus.num_docs(),
+    );
+
+    let mut points: Vec<ScalingPoint> = Vec::new();
+    for &workers in worker_counts {
+        let mut cluster =
+            ProcessCluster::new(&corpus, params, config, SEED, ProcessClusterConfig::new(workers))
+                .unwrap_or_else(|e| {
+                    eprintln!("[dist_scaling] cannot spawn {workers}-worker cluster: {e}");
+                    std::process::exit(1);
+                });
+
+        let mut wall = 0.0;
+        let mut bytes = 0u64;
+        for _ in 0..iterations {
+            let report = cluster.run_iteration().unwrap_or_else(|e| {
+                eprintln!("[dist_scaling] iteration failed with {workers} workers: {e}");
+                std::process::exit(1);
+            });
+            wall += report.wall_sec;
+            bytes += report.bytes_exchanged;
+        }
+
+        // Every measured point is also a differential check: the merged
+        // multi-process state must equal the single-machine oracle.
+        let mut oracle = ParallelWarpLda::new(&corpus, params, config, SEED, workers);
+        for _ in 0..iterations {
+            oracle.run_iteration();
+        }
+        assert_eq!(
+            cluster.assignments(),
+            oracle.assignments(),
+            "{workers}-worker run diverged from the parallel oracle"
+        );
+        if let Err(e) = cluster.shutdown() {
+            eprintln!("[dist_scaling] shutdown with {workers} workers: {e}");
+            std::process::exit(1);
+        }
+
+        let tps = tokens as f64 * iterations as f64 / wall.max(1e-12);
+        let baseline = points.first().map_or(tps, |p| p.tokens_per_sec);
+        let point = ScalingPoint {
+            workers: workers as u64,
+            iterations,
+            wall_seconds: wall,
+            tokens_per_sec: tps,
+            bytes_exchanged: bytes,
+            speedup_vs_one_process: tps / baseline,
+        };
+        eprintln!(
+            "[dist_scaling]   {workers} worker(s): {:>8.3} Mtok/s wall, {:>6.2} MB exchanged, \
+             speedup {:.2}x",
+            tps / 1e6,
+            bytes as f64 / 1e6,
+            point.speedup_vs_one_process,
+        );
+        points.push(point);
+    }
+
+    let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let doc = scaling_report(preset_name, tokens, host_cpus, &points);
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&out, doc.render()).expect("write scaling report");
+    println!("[dist_scaling] wrote {out}");
+}

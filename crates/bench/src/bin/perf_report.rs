@@ -432,6 +432,36 @@ fn main() {
         return;
     }
 
+    if args.iter().any(|a| a == "--validate-scaling") {
+        // Schema-checks a multi-process scaling curve (the file dist_scaling
+        // emits); run by CI after the 2-worker loopback smoke.
+        let Some(path) = arg_value(&args, "--validate-scaling") else {
+            eprintln!("[perf_report] --validate-scaling requires a file path");
+            std::process::exit(2);
+        };
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("[perf_report] cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        match warplda_bench::scaling::validate_scaling_report(&text) {
+            Ok(points) => {
+                let counts: Vec<String> = points.iter().map(|p| format!("{}", p.workers)).collect();
+                println!(
+                    "[perf_report] {path}: scaling curve OK ({} points, workers {})",
+                    points.len(),
+                    counts.join("/")
+                );
+            }
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("[perf_report] {path}: {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     if args.iter().any(|a| a == "--validate") {
         // A bare `--validate` must fail loudly, not fall through to a full
         // (minutes-long) measurement run that would make a CI validation

@@ -21,6 +21,7 @@
 
 pub mod json;
 pub mod latency;
+pub mod scaling;
 
 use std::fs;
 use std::io::Write as _;

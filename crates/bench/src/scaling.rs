@@ -1,0 +1,242 @@
+//! The multi-process scaling-curve JSON schema.
+//!
+//! `dist_scaling` trains the same corpus on 1, 2, … real worker processes
+//! (the `ProcessCluster` backend) and records one measured point per worker
+//! count; CI schema-validates the file via `perf_report --validate-scaling`,
+//! the same discipline as the serve latency report.
+//!
+//! The workspace JSON writer has no array type, so the curve is a keyed
+//! object — one `w<N>` entry per worker count:
+//!
+//! ```json
+//! "points": {
+//!   "w1": { "workers": 1, "iterations": 5, "wall_seconds": 1.9,
+//!           "tokens_per_sec": 1.1e6, "bytes_exchanged": 0,
+//!           "speedup_vs_one_process": 1.0 },
+//!   "w2": { ... }
+//! }
+//! ```
+//!
+//! Validation deliberately does **not** require `speedup > 1`: the committed
+//! curves come from CI boxes where worker processes time-slice a small number
+//! of cores, so the measured speedup is honest but not necessarily > 1. The
+//! schema guards shape and sanity (positive throughput, consistent keys),
+//! not the hardware.
+
+use crate::json::Json;
+
+/// Schema tag of a scaling-report file.
+pub const SCALING_SCHEMA: &str = "warplda-dist-scaling/1";
+
+/// The required numeric fields of each scaling point, in schema order.
+pub const SCALING_POINT_FIELDS: [&str; 6] = [
+    "workers",
+    "iterations",
+    "wall_seconds",
+    "tokens_per_sec",
+    "bytes_exchanged",
+    "speedup_vs_one_process",
+];
+
+/// One measured point of the scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Worker processes spawned.
+    pub workers: u64,
+    /// Iterations measured.
+    pub iterations: u64,
+    /// Total wall seconds across the measured iterations.
+    pub wall_seconds: f64,
+    /// Tokens sampled per wall second (one full corpus pass per iteration).
+    pub tokens_per_sec: f64,
+    /// Frame bytes that crossed the loopback sockets (both directions).
+    pub bytes_exchanged: u64,
+    /// Measured throughput relative to the 1-process run of the same sweep.
+    pub speedup_vs_one_process: f64,
+}
+
+impl ScalingPoint {
+    /// Renders the point as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("workers", Json::Num(self.workers as f64));
+        o.set("iterations", Json::Num(self.iterations as f64));
+        o.set("wall_seconds", Json::Num(self.wall_seconds));
+        o.set("tokens_per_sec", Json::Num(self.tokens_per_sec));
+        o.set("bytes_exchanged", Json::Num(self.bytes_exchanged as f64));
+        o.set("speedup_vs_one_process", Json::Num(self.speedup_vs_one_process));
+        o
+    }
+
+    /// Parses a point previously emitted by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("scaling point: missing numeric {key:?}"))
+        };
+        Ok(Self {
+            workers: num("workers")? as u64,
+            iterations: num("iterations")? as u64,
+            wall_seconds: num("wall_seconds")?,
+            tokens_per_sec: num("tokens_per_sec")?,
+            bytes_exchanged: num("bytes_exchanged")? as u64,
+            speedup_vs_one_process: num("speedup_vs_one_process")?,
+        })
+    }
+}
+
+/// Assembles a full scaling-report document.
+pub fn scaling_report(
+    preset: &str,
+    tokens: u64,
+    host_cpus: usize,
+    points: &[ScalingPoint],
+) -> Json {
+    let mut point_objs = Json::obj();
+    for p in points {
+        point_objs.set(&format!("w{}", p.workers), p.to_json());
+    }
+    let mut doc = Json::obj();
+    doc.set("schema", Json::Str(SCALING_SCHEMA.into()));
+    doc.set("preset", Json::Str(preset.into()));
+    doc.set("tokens", Json::Num(tokens as f64));
+    // Worker processes time-slice when the host has fewer cores than the
+    // largest worker count; read the speedup column against this.
+    doc.set("host_cpus", Json::Num(host_cpus as f64));
+    doc.set("points", point_objs);
+    doc
+}
+
+/// Validates a whole scaling-report file and returns the parsed points in
+/// ascending worker order.
+pub fn validate_scaling_report(text: &str) -> Result<Vec<ScalingPoint>, Vec<String>> {
+    let doc = Json::parse(text).map_err(|e| vec![format!("not valid JSON: {e}")])?;
+    let mut errors = Vec::new();
+    match doc.get("schema").and_then(Json::as_str) {
+        None => errors.push("missing \"schema\" string".to_string()),
+        Some(s) if s != SCALING_SCHEMA => {
+            errors.push(format!("schema is {s:?}, expected {SCALING_SCHEMA:?}"))
+        }
+        Some(_) => {}
+    }
+    if doc.get("preset").and_then(Json::as_str).is_none() {
+        errors.push("missing \"preset\" string".to_string());
+    }
+    let mut points = Vec::new();
+    match doc.get("points").and_then(Json::as_obj) {
+        None => errors.push("missing \"points\" object".to_string()),
+        Some([]) => errors.push("no scaling points recorded".into()),
+        Some(entries) => {
+            for (key, obj) in entries {
+                match ScalingPoint::from_json(obj) {
+                    Err(e) => errors.push(format!("point {key:?}: {e}")),
+                    Ok(p) => {
+                        if key != &format!("w{}", p.workers) {
+                            errors.push(format!(
+                                "point {key:?} claims {} workers; key and field disagree",
+                                p.workers
+                            ));
+                        }
+                        if p.workers == 0 {
+                            errors.push(format!("point {key:?}: zero workers"));
+                        }
+                        if p.iterations == 0 {
+                            errors.push(format!("point {key:?}: zero iterations"));
+                        }
+                        if !matches!(
+                            p.tokens_per_sec.partial_cmp(&0.0),
+                            Some(std::cmp::Ordering::Greater)
+                        ) {
+                            errors.push(format!(
+                                "point {key:?}: non-positive tokens_per_sec {}",
+                                p.tokens_per_sec
+                            ));
+                        }
+                        points.push(p);
+                    }
+                }
+            }
+            if !points.iter().any(|p| p.workers == 1) {
+                errors.push("no 1-process baseline point (\"w1\")".to_string());
+            }
+        }
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+    points.sort_by_key(|p| p.workers);
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(workers: u64, tps: f64) -> ScalingPoint {
+        ScalingPoint {
+            workers,
+            iterations: 5,
+            wall_seconds: 1.25,
+            tokens_per_sec: tps,
+            bytes_exchanged: workers.saturating_sub(1) * 4096,
+            speedup_vs_one_process: tps / 1e6,
+        }
+    }
+
+    fn report() -> Json {
+        scaling_report("tiny", 8000, 8, &[point(1, 1e6), point(2, 1.7e6), point(4, 2.9e6)])
+    }
+
+    #[test]
+    fn points_round_trip_through_json() {
+        let p = point(2, 1.7e6);
+        assert_eq!(ScalingPoint::from_json(&p.to_json()).unwrap(), p);
+    }
+
+    #[test]
+    fn valid_report_passes_and_sorts_points() {
+        let parsed = validate_scaling_report(&report().render()).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].workers, 1);
+        assert_eq!(parsed[2].workers, 4);
+    }
+
+    #[test]
+    fn sub_linear_speedup_is_not_an_error() {
+        // Single-core CI time-slices workers: speedup < 1 must validate.
+        let mut slow = point(4, 0.4e6);
+        slow.speedup_vs_one_process = 0.4;
+        let doc = scaling_report("tiny", 8000, 1, &[point(1, 1e6), slow]);
+        assert!(validate_scaling_report(&doc.render()).is_ok());
+    }
+
+    #[test]
+    fn validation_catches_structural_errors() {
+        assert!(validate_scaling_report("not json").is_err());
+        assert!(validate_scaling_report("{}").is_err());
+
+        // Wrong schema tag.
+        let mut doc = report();
+        doc.set("schema", Json::Str("something-else/9".into()));
+        let errors = validate_scaling_report(&doc.render()).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("schema")), "{errors:?}");
+
+        // Missing baseline.
+        let doc = scaling_report("tiny", 8000, 8, &[point(2, 1.7e6)]);
+        let errors = validate_scaling_report(&doc.render()).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("baseline")), "{errors:?}");
+
+        // Key / field disagreement and a non-numeric field.
+        let mut points = Json::obj();
+        points.set("w3", point(2, 1.7e6).to_json());
+        let mut bad = point(1, 1e6).to_json();
+        bad.set("tokens_per_sec", Json::Str("fast".into()));
+        points.set("w1", bad);
+        let mut doc = report();
+        doc.set("points", points);
+        let errors = validate_scaling_report(&doc.render()).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("disagree")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.contains("tokens_per_sec")), "{errors:?}");
+    }
+}

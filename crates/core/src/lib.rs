@@ -63,4 +63,5 @@ pub use sparselda::SparseLda;
 pub use state::SamplerState;
 pub use trainer::{IterationLog, IterationRecord, TrainOutcome, Trainer, TrainerConfig};
 pub use warp::parallel::ParallelWarpLda;
+pub use warp::shard::ShardedWarpLda;
 pub use warp::{WarpLda, WarpLdaConfig};

@@ -36,6 +36,7 @@
 //! runs allocation-free (pinned by the `zero_alloc` integration suite).
 
 pub mod parallel;
+pub mod shard;
 
 use rand::rngs::SmallRng;
 use rand::Rng;

@@ -105,6 +105,11 @@ impl ParallelWarpLda {
         &self.inner
     }
 
+    /// The global topic counts `c_k`.
+    pub fn topic_counts(&self) -> &[u32] {
+        &self.inner.topic_counts
+    }
+
     /// Wall seconds of the most recent `(word phase, doc phase)`.
     pub fn last_phase_seconds(&self) -> (f64, f64) {
         self.last_phase_secs

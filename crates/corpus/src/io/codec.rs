@@ -40,7 +40,7 @@
 
 use std::io::{Read, Write};
 
-use crate::Vocabulary;
+use crate::{Corpus, Document, Vocabulary};
 
 /// Magic number opening every framed file: identifies WarpLDA checkpoints.
 pub const MAGIC: [u8; 8] = *b"WLDACKPT";
@@ -428,6 +428,30 @@ pub fn read_vocab(dec: &mut Decoder<'_>) -> CodecResult<Vocabulary> {
     Ok(vocab)
 }
 
+/// Writes a full [`Corpus`] (vocabulary + per-document token-id sequences)
+/// through an encoder. The distributed runtime ships the training corpus to
+/// every worker through this path, inside one wire frame.
+pub fn write_corpus(enc: &mut Encoder<'_>, corpus: &Corpus) -> CodecResult<()> {
+    write_vocab(enc, corpus.vocab())?;
+    enc.write_usize(corpus.num_docs())?;
+    for doc in corpus.docs() {
+        enc.write_u32_slice(doc.tokens())?;
+    }
+    Ok(())
+}
+
+/// Reads a [`Corpus`] previously written by [`write_corpus`], re-validating
+/// every token id against the decoded vocabulary.
+pub fn read_corpus(dec: &mut Decoder<'_>) -> CodecResult<Corpus> {
+    let vocab = read_vocab(dec)?;
+    let num_docs = dec.read_usize()?;
+    let mut docs = Vec::with_capacity(num_docs.min(1 << 20));
+    for _ in 0..num_docs {
+        docs.push(Document::from_tokens(dec.read_u32_vec()?));
+    }
+    Corpus::from_parts(docs, vocab).map_err(|e| CodecError::Corrupt(format!("invalid corpus: {e}")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,6 +614,45 @@ mod tests {
         assert_eq!(back.len(), 4);
         assert_eq!(back.word(0), Some("alpha"));
         assert_eq!(back.get("delta"), Some(3));
+    }
+
+    #[test]
+    fn corpus_round_trips_and_validates_token_ids() {
+        let mut vocab = Vocabulary::new();
+        for w in ["sun", "moon", "star"] {
+            vocab.intern(w);
+        }
+        let docs = vec![
+            Document::from_tokens(vec![0, 2, 1, 1]),
+            Document::from_tokens(vec![]),
+            Document::from_tokens(vec![2, 2]),
+        ];
+        let corpus = Corpus::from_parts(docs, vocab).unwrap();
+        let mut buf = Vec::new();
+        write_corpus(&mut Encoder::new(&mut buf), &corpus).unwrap();
+        let mut cursor = buf.as_slice();
+        let back = read_corpus(&mut Decoder::new(&mut cursor)).unwrap();
+        assert_eq!(back.num_docs(), corpus.num_docs());
+        assert_eq!(back.vocab_size(), corpus.vocab_size());
+        assert_eq!(back.num_tokens(), corpus.num_tokens());
+        for (a, b) in back.docs().iter().zip(corpus.docs()) {
+            assert_eq!(a.tokens(), b.tokens());
+        }
+        assert_eq!(back.vocab().word(2), Some("star"));
+
+        // A token id outside the decoded vocabulary is structural corruption.
+        let mut vocab = Vocabulary::new();
+        vocab.intern("only");
+        let corpus = Corpus::from_parts(vec![Document::from_tokens(vec![0, 0])], vocab).unwrap();
+        let mut buf = Vec::new();
+        write_corpus(&mut Encoder::new(&mut buf), &corpus).unwrap();
+        // Patch the single-token doc's first token id (last 8 bytes are the
+        // two u32 tokens; flip the final one to an out-of-vocab id).
+        let at = buf.len() - 4;
+        buf[at..].copy_from_slice(&7u32.to_le_bytes());
+        let mut cursor = buf.as_slice();
+        let err = read_corpus(&mut Decoder::new(&mut cursor)).unwrap_err();
+        assert!(matches!(err, CodecError::Corrupt(_)), "{err}");
     }
 
     #[test]

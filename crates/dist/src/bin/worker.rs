@@ -1,0 +1,221 @@
+//! `warplda-dist-worker` — one shard of a real multi-process training run.
+//!
+//! Spawned by [`warplda_dist::ProcessCluster`] as
+//! `warplda-dist-worker --connect 127.0.0.1:PORT --worker-id N`. The worker
+//! connects back, receives the corpus and model hyperparameters in a `Setup`
+//! frame, rebuilds the *same* replica and [`ShardPlan`] the coordinator holds
+//! (both are deterministic functions of the corpus, seed and worker count),
+//! then serves `RunIteration` requests: advance the owned shard of a phase,
+//! report the owned records plus a partial `c_k`, and absorb the merged
+//! `c_k` plus the cross-owner records the plan says this worker lacks.
+//!
+//! Every protocol violation or decode failure is reported back as a `Fault`
+//! frame (best effort) before exiting non-zero, so the coordinator gets a
+//! typed error instead of a silent hang.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use warplda_core::{ModelParams, ShardedWarpLda, WarpLdaConfig};
+use warplda_corpus::{Corpus, DocMajorView, WordMajorView};
+use warplda_dist::plan::ShardPlan;
+use warplda_dist::protocol::{
+    decode_message, encode_message, Delta, Message, Setup, DIST_MAX_FRAME_BYTES,
+};
+use warplda_dist::GridPartition;
+use warplda_net::{connect_with_retry, write_frame, FrameBuffer};
+use warplda_sparse::PartitionStrategy;
+
+type Result<T> = std::result::Result<T, Box<dyn std::error::Error>>;
+
+fn main() {
+    let (addr, worker_id) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("warplda-dist-worker: {e}");
+            eprintln!("usage: warplda-dist-worker --connect HOST:PORT --worker-id N");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&addr, worker_id) {
+        eprintln!("warplda-dist-worker {worker_id}: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn parse_args() -> Result<(String, u32)> {
+    let mut addr = None;
+    let mut worker_id = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--connect" => addr = Some(args.next().ok_or("--connect needs HOST:PORT")?),
+            "--worker-id" => {
+                let raw = args.next().ok_or("--worker-id needs a number")?;
+                worker_id = Some(raw.parse::<u32>().map_err(|e| format!("bad worker id: {e}"))?);
+            }
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    Ok((addr.ok_or("missing --connect")?, worker_id.ok_or("missing --worker-id")?))
+}
+
+/// The framed connection back to the coordinator.
+struct Link {
+    stream: TcpStream,
+    buf: FrameBuffer,
+}
+
+impl Link {
+    fn send(&mut self, msg: &Message) -> Result<()> {
+        write_frame(&mut self.stream, &encode_message(msg))?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Message> {
+        match self.buf.read_frame(&mut self.stream)? {
+            Some(range) => Ok(decode_message(self.buf.payload(range))?),
+            None => Err("coordinator closed the connection".into()),
+        }
+    }
+}
+
+fn run(addr: &str, worker_id: u32) -> Result<()> {
+    let stream =
+        connect_with_retry(addr, 200, Duration::from_millis(5), Duration::from_millis(100))?;
+    stream.set_nodelay(true)?;
+    // If the coordinator hangs (rather than dying, which shows up as EOF
+    // immediately), give up instead of lingering as an orphan.
+    stream.set_read_timeout(Some(Duration::from_secs(300)))?;
+    let mut link = Link { stream, buf: FrameBuffer::with_max_frame(1 << 16, DIST_MAX_FRAME_BYTES) };
+
+    link.send(&Message::Hello { worker_id })?;
+    let setup = match link.recv()? {
+        Message::Setup(setup) => *setup,
+        other => return Err(format!("expected Setup, got {other:?}").into()),
+    };
+    if setup.worker_id != worker_id {
+        return Err(format!(
+            "coordinator addressed worker {} on worker {worker_id}'s connection",
+            setup.worker_id
+        )
+        .into());
+    }
+
+    let (mut sampler, plan) = build_replica(&setup)?;
+    link.send(&Message::Ready { worker_id })?;
+
+    let id = worker_id as usize;
+    match serve(&mut link, &mut sampler, &plan, id) {
+        Ok(()) => {
+            link.send(&Message::Bye { worker_id })?;
+            Ok(())
+        }
+        Err(e) => {
+            // Best effort: give the coordinator a typed Fault before dying.
+            let _ = link.send(&Message::Fault { worker_id, message: e.to_string() });
+            Err(e)
+        }
+    }
+}
+
+/// Rebuilds the deterministic replica + exchange plan from the `Setup`
+/// payload, applying resume state when present.
+fn build_replica(setup: &Setup) -> Result<(ShardedWarpLda, ShardPlan)> {
+    let corpus: &Corpus = &setup.corpus;
+    let params = ModelParams::new(setup.num_topics as usize, setup.alpha, setup.beta);
+    let config =
+        WarpLdaConfig { mh_steps: setup.mh_steps as usize, use_hash_counts: setup.use_hash_counts };
+    let doc_view = DocMajorView::build(corpus);
+    let word_view = WordMajorView::build(corpus, &doc_view);
+    let grid = GridPartition::build_with(
+        corpus,
+        &doc_view,
+        &word_view,
+        setup.workers as usize,
+        PartitionStrategy::Greedy,
+        PartitionStrategy::Dynamic,
+    );
+    let mut sampler = ShardedWarpLda::new(corpus, params, config, setup.seed);
+    if let Some(resume) = &setup.resume {
+        sampler.restore(resume.iterations, &resume.records, &resume.topic_counts)?;
+    }
+    let plan = ShardPlan::build(&sampler, &grid);
+    Ok((sampler, plan))
+}
+
+/// The iteration loop: word shard → delta → sync, doc shard → delta → sync,
+/// until `Shutdown`.
+fn serve(link: &mut Link, sampler: &mut ShardedWarpLda, plan: &ShardPlan, id: usize) -> Result<()> {
+    let k = sampler.params().num_topics;
+    let mut partial = vec![0u32; k];
+    let mut records = Vec::new();
+    loop {
+        let epoch = match link.recv()? {
+            Message::RunIteration { epoch } => epoch,
+            Message::Shutdown => return Ok(()),
+            other => return Err(format!("expected RunIteration or Shutdown, got {other:?}").into()),
+        };
+        if epoch != sampler.iterations() {
+            return Err(format!(
+                "coordinator asked for epoch {epoch} but this worker is at {}",
+                sampler.iterations()
+            )
+            .into());
+        }
+
+        sampler.run_word_phase_shard(&plan.owned_words[id], &mut partial);
+        sampler.export_records(&plan.word_delta_entries[id], &mut records);
+        link.send(&Message::WordDelta(Delta {
+            worker_id: id as u32,
+            epoch,
+            records: records.clone(),
+            partial_ck: partial.clone(),
+        }))?;
+        apply_sync(link, sampler, &plan.word_sync_entries[id], epoch, k, SyncKind::Word)?;
+
+        sampler.run_doc_phase_shard(&plan.owned_docs[id], &mut partial);
+        sampler.export_records(&plan.doc_delta_entries[id], &mut records);
+        link.send(&Message::DocDelta(Delta {
+            worker_id: id as u32,
+            epoch,
+            records: records.clone(),
+            partial_ck: partial.clone(),
+        }))?;
+        apply_sync(link, sampler, &plan.doc_sync_entries[id], epoch, k, SyncKind::Doc)?;
+
+        sampler.advance_iteration();
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SyncKind {
+    Word,
+    Doc,
+}
+
+/// Receives the expected phase-boundary sync, installs the merged `c_k` and
+/// imports the cross-owner records this worker does not advance itself.
+fn apply_sync(
+    link: &mut Link,
+    sampler: &mut ShardedWarpLda,
+    entries: &[u32],
+    epoch: u64,
+    k: usize,
+    kind: SyncKind,
+) -> Result<()> {
+    let sync = match (kind, link.recv()?) {
+        (SyncKind::Word, Message::WordSync(sync)) => sync,
+        (SyncKind::Doc, Message::DocSync(sync)) => sync,
+        (_, other) => return Err(format!("expected {kind:?} sync, got {other:?}").into()),
+    };
+    if sync.epoch != epoch {
+        return Err(format!("{kind:?} sync for epoch {} at epoch {epoch}", sync.epoch).into());
+    }
+    if sync.topic_counts.len() != k {
+        return Err(format!("merged c_k has {} slots for K = {k}", sync.topic_counts.len()).into());
+    }
+    sampler.install_topic_counts(&sync.topic_counts);
+    sampler.import_records(entries, &sync.records)?;
+    Ok(())
+}

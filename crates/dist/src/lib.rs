@@ -28,6 +28,20 @@
 //! * [`runner`] — the modeled scaling sweep behind the Figure 9b style
 //!   machine-count curves.
 //!
+//! On top of the simulation sits a **real multi-process backend**:
+//!
+//! * [`protocol`] — the framed wire protocol (over [`warplda_net`]) the
+//!   coordinator and workers speak: corpus/hyperparameter setup, per-phase
+//!   record deltas with partial `c_k`, merged boundary syncs, clean shutdown;
+//! * [`ShardPlan`] — the deterministic per-worker ownership and exchange
+//!   entry lists both sides derive independently from the [`GridPartition`];
+//! * [`ProcessCluster`] — the coordinator: spawns N `warplda-dist-worker`
+//!   OS processes, drives iterations over loopback TCP, and keeps a replica
+//!   whose merged state is bit-identical to the simulated
+//!   [`DistributedWarpLda`] (and hence to
+//!   [`warplda_core::ParallelWarpLda`]) after every iteration — the
+//!   simulation is retained as the correctness oracle for the real thing.
+//!
 //! ```
 //! use warplda_corpus::DatasetPreset;
 //! use warplda_core::{ModelParams, WarpLdaConfig};
@@ -49,8 +63,13 @@
 pub mod cluster;
 pub mod driver;
 pub mod grid;
+pub mod plan;
+pub mod process;
+pub mod protocol;
 pub mod runner;
 
 pub use cluster::ClusterConfig;
 pub use driver::{DistributedWarpLda, IterationReport};
 pub use grid::GridPartition;
+pub use plan::ShardPlan;
+pub use process::{DistError, ProcessCluster, ProcessClusterConfig, ProcessIterationReport};

@@ -1,0 +1,579 @@
+//! The real multi-process training backend: a coordinator that spawns
+//! `warplda-dist-worker` processes and drives them over loopback TCP.
+//!
+//! The coordinator owns a full [`ShardedWarpLda`] replica of its own. Every
+//! iteration it broadcasts `RunIteration`, collects each worker's phase
+//! [`Delta`](crate::protocol::Delta) (owned-entry records + partial `c_k`),
+//! merges the partials, imports the records — at which point its replica *is*
+//! the globally advanced state — and answers each worker with the merged
+//! `c_k` plus exactly the records that worker lacks (per the shared
+//! [`ShardPlan`]). The replica is therefore always inspectable
+//! ([`assignments`](ProcessCluster::assignments),
+//! [`topic_counts`](ProcessCluster::topic_counts)) and checkpointable without
+//! touching the workers, and — by the per-entity RNG stream argument spelled
+//! out in `warplda_core::warp::shard` — bit-identical to a simulated
+//! [`DistributedWarpLda`](crate::DistributedWarpLda) and an in-process
+//! [`ParallelWarpLda`](warplda_core::ParallelWarpLda) run of the same seed.
+//!
+//! Every receive is bounded by the configured I/O timeout and every failure
+//! (worker death, timeout, malformed payload) is a typed [`DistError`] — the
+//! coordinator never hangs on a dead worker.
+
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use warplda_core::{ModelParams, Sampler, ShardedWarpLda, WarpLdaConfig};
+use warplda_corpus::io::codec::CodecError;
+use warplda_corpus::{Corpus, DocMajorView, WordMajorView};
+use warplda_net::{write_frame, FrameBuffer, WireError};
+use warplda_sparse::PartitionStrategy;
+
+use crate::grid::GridPartition;
+use crate::plan::ShardPlan;
+use crate::protocol::{
+    decode_message, encode_message, Message, ResumeState, Setup, Sync, DIST_MAX_FRAME_BYTES,
+};
+
+/// Errors of the multi-process runtime.
+#[derive(Debug)]
+pub enum DistError {
+    /// An underlying I/O error (spawn failure, socket error, …).
+    Io(std::io::Error),
+    /// A framing error on a worker connection.
+    Wire(WireError),
+    /// A payload that decoded to something structurally invalid.
+    Codec(CodecError),
+    /// The protocol state machine was violated (unexpected message, epoch
+    /// mismatch, …).
+    Protocol(String),
+    /// A specific worker died, timed out or reported a fault.
+    WorkerFailed {
+        /// The worker's id.
+        worker: u32,
+        /// What happened.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Io(e) => write!(f, "I/O error: {e}"),
+            DistError::Wire(e) => write!(f, "wire error: {e}"),
+            DistError::Codec(e) => write!(f, "codec error: {e}"),
+            DistError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            DistError::WorkerFailed { worker, message } => {
+                write!(f, "worker {worker} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Io(e) => Some(e),
+            DistError::Wire(e) => Some(e),
+            DistError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DistError {
+    fn from(e: std::io::Error) -> Self {
+        DistError::Io(e)
+    }
+}
+
+impl From<WireError> for DistError {
+    fn from(e: WireError) -> Self {
+        DistError::Wire(e)
+    }
+}
+
+impl From<CodecError> for DistError {
+    fn from(e: CodecError) -> Self {
+        DistError::Codec(e)
+    }
+}
+
+/// Configuration of a [`ProcessCluster`].
+#[derive(Debug, Clone)]
+pub struct ProcessClusterConfig {
+    /// Number of worker processes to spawn.
+    pub workers: usize,
+    /// Bound on every receive (and connection wait): a dead or hung worker
+    /// surfaces as a typed error within this long.
+    pub io_timeout: Duration,
+    /// Explicit path to the `warplda-dist-worker` binary; when `None` the
+    /// `WARPLDA_DIST_WORKER` environment variable is consulted, then the
+    /// directories around the current executable (which covers `cargo test`
+    /// and `cargo run`, whose binaries sit in or one level below the
+    /// directory the worker bin lands in).
+    pub worker_binary: Option<PathBuf>,
+}
+
+impl ProcessClusterConfig {
+    /// Defaults: a 30 s I/O bound and automatic worker-binary discovery.
+    pub fn new(workers: usize) -> Self {
+        Self { workers, io_timeout: Duration::from_secs(30), worker_binary: None }
+    }
+}
+
+/// Accounting for one multi-process iteration.
+#[derive(Debug, Clone)]
+pub struct ProcessIterationReport {
+    /// Iteration number, 1-based.
+    pub iteration: u64,
+    /// Measured wall seconds of the full iteration (compute + real loopback
+    /// communication + merges).
+    pub wall_sec: f64,
+    /// Frame bytes crossing the sockets this iteration (deltas + syncs, both
+    /// directions, including length prefixes).
+    pub bytes_exchanged: u64,
+}
+
+struct Conn {
+    stream: TcpStream,
+    buf: FrameBuffer,
+}
+
+/// Locates the worker binary next to (or one/two levels above) the current
+/// executable — `cargo test` binaries live in `target/<profile>/deps/` while
+/// bins land in `target/<profile>/`.
+fn default_worker_binary() -> Option<PathBuf> {
+    if let Ok(path) = std::env::var("WARPLDA_DIST_WORKER") {
+        return Some(PathBuf::from(path));
+    }
+    let exe = std::env::current_exe().ok()?;
+    let name = format!("warplda-dist-worker{}", std::env::consts::EXE_SUFFIX);
+    let mut dir = exe.parent()?;
+    for _ in 0..3 {
+        let candidate = dir.join(&name);
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        dir = dir.parent()?;
+    }
+    None
+}
+
+/// A coordinator over `workers` spawned `warplda-dist-worker` processes.
+pub struct ProcessCluster {
+    sampler: ShardedWarpLda,
+    grid: GridPartition,
+    plan: ShardPlan,
+    conns: Vec<Conn>,
+    children: Vec<Child>,
+    cfg: ProcessClusterConfig,
+    bytes_this_iteration: u64,
+}
+
+impl ProcessCluster {
+    /// Spawns the workers and trains `corpus` from a fresh random
+    /// initialization (the same one every other backend derives from `seed`).
+    pub fn new(
+        corpus: &Corpus,
+        params: ModelParams,
+        config: WarpLdaConfig,
+        seed: u64,
+        cfg: ProcessClusterConfig,
+    ) -> Result<Self, DistError> {
+        Self::from_sampler(corpus, ShardedWarpLda::new(corpus, params, config, seed), cfg)
+    }
+
+    /// Spawns the workers around an existing replica — how training resumes
+    /// from a checkpoint: load it into a [`ShardedWarpLda`] first, then hand
+    /// it here and the workers adopt its full state before the first
+    /// iteration. The worker count is free to differ from the one that wrote
+    /// the checkpoint; continuation is bit-identical either way.
+    pub fn from_sampler(
+        corpus: &Corpus,
+        sampler: ShardedWarpLda,
+        cfg: ProcessClusterConfig,
+    ) -> Result<Self, DistError> {
+        if cfg.workers == 0 {
+            return Err(DistError::Protocol("need at least one worker".into()));
+        }
+        let doc_view = DocMajorView::build(corpus);
+        let word_view = WordMajorView::build(corpus, &doc_view);
+        let grid = GridPartition::build_with(
+            corpus,
+            &doc_view,
+            &word_view,
+            cfg.workers,
+            PartitionStrategy::Greedy,
+            PartitionStrategy::Dynamic,
+        );
+        let plan = ShardPlan::build(&sampler, &grid);
+
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let binary = cfg.worker_binary.clone().or_else(default_worker_binary).ok_or_else(|| {
+            DistError::Protocol(
+                "cannot locate the warplda-dist-worker binary; build it or set \
+                 WARPLDA_DIST_WORKER"
+                    .into(),
+            )
+        })?;
+
+        let mut children = Vec::with_capacity(cfg.workers);
+        for id in 0..cfg.workers {
+            let child = Command::new(&binary)
+                .arg("--connect")
+                .arg(addr.to_string())
+                .arg("--worker-id")
+                .arg(id.to_string())
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .spawn()?;
+            children.push(child);
+        }
+
+        let mut cluster =
+            Self { sampler, grid, plan, conns: Vec::new(), children, cfg, bytes_this_iteration: 0 };
+        match cluster.handshake(&listener, corpus) {
+            Ok(()) => Ok(cluster),
+            Err(e) => {
+                cluster.kill_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Accepts every worker's connection, exchanges Hello/Setup/Ready. Each
+    /// step is deadline-bounded and fails fast if a child dies early.
+    fn handshake(&mut self, listener: &TcpListener, corpus: &Corpus) -> Result<(), DistError> {
+        let workers = self.cfg.workers;
+        let deadline = Instant::now() + self.cfg.io_timeout;
+        let mut slots: Vec<Option<Conn>> = (0..workers).map(|_| None).collect();
+        let mut connected = 0usize;
+        while connected < workers {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(self.cfg.io_timeout))?;
+                    stream.set_write_timeout(Some(self.cfg.io_timeout))?;
+                    let mut conn = Conn {
+                        stream,
+                        buf: FrameBuffer::with_max_frame(1 << 16, DIST_MAX_FRAME_BYTES),
+                    };
+                    match recv_on(&mut conn)? {
+                        Some(Message::Hello { worker_id }) => {
+                            let id = worker_id as usize;
+                            if id >= workers || slots[id].is_some() {
+                                return Err(DistError::Protocol(format!(
+                                    "unexpected Hello from worker id {worker_id}"
+                                )));
+                            }
+                            slots[id] = Some(conn);
+                            connected += 1;
+                        }
+                        Some(other) => {
+                            return Err(DistError::Protocol(format!(
+                                "expected Hello, got {}",
+                                kind_of(&other)
+                            )))
+                        }
+                        None => {
+                            return Err(DistError::Protocol(
+                                "worker disconnected before Hello".into(),
+                            ))
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() > deadline {
+                        return Err(DistError::Protocol(format!(
+                            "timed out waiting for {} worker(s) to connect",
+                            workers - connected
+                        )));
+                    }
+                    for (i, child) in self.children.iter_mut().enumerate() {
+                        if let Some(status) = child.try_wait()? {
+                            return Err(DistError::WorkerFailed {
+                                worker: i as u32,
+                                message: format!("exited during startup: {status}"),
+                            });
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.conns = slots.into_iter().map(|s| s.expect("all slots filled")).collect();
+
+        let params = *self.sampler.params();
+        let config = *self.sampler.config();
+        let resume = (self.sampler.iterations() > 0).then(|| ResumeState {
+            iterations: self.sampler.iterations(),
+            records: self.sampler.records_slice().to_vec(),
+            topic_counts: self.sampler.topic_counts().to_vec(),
+        });
+        for i in 0..workers {
+            let setup = Message::Setup(Box::new(Setup {
+                workers: workers as u32,
+                worker_id: i as u32,
+                seed: self.sampler.seed(),
+                num_topics: params.num_topics as u64,
+                alpha: params.alpha,
+                beta: params.beta,
+                mh_steps: config.mh_steps as u64,
+                use_hash_counts: config.use_hash_counts,
+                corpus: corpus.clone(),
+                resume: resume.clone(),
+            }));
+            self.send(i, &setup)?;
+        }
+        for i in 0..workers {
+            match self.recv(i)? {
+                Message::Ready { worker_id } if worker_id as usize == i => {}
+                other => {
+                    return Err(DistError::Protocol(format!(
+                        "expected Ready from worker {i}, got {}",
+                        kind_of(&other)
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Cluster size `P`.
+    pub fn workers(&self) -> usize {
+        self.cfg.workers
+    }
+
+    /// The grid partition driving shard ownership.
+    pub fn grid(&self) -> &GridPartition {
+        &self.grid
+    }
+
+    /// Completed iterations.
+    pub fn iterations(&self) -> u64 {
+        self.sampler.iterations()
+    }
+
+    /// The merged topic assignments (doc-major token order), as advanced by
+    /// the workers through the last completed iteration.
+    pub fn assignments(&self) -> Vec<u32> {
+        self.sampler.assignments()
+    }
+
+    /// The merged global `c_k`.
+    pub fn topic_counts(&self) -> &[u32] {
+        self.sampler.topic_counts()
+    }
+
+    /// The coordinator's replica — checkpoint it with
+    /// `warplda_core::checkpoint::write_checkpoint` to persist the cluster's
+    /// state.
+    pub fn sampler(&self) -> &ShardedWarpLda {
+        &self.sampler
+    }
+
+    fn send(&mut self, i: usize, msg: &Message) -> Result<(), DistError> {
+        let payload = encode_message(msg);
+        self.bytes_this_iteration += payload.len() as u64 + 4;
+        write_frame(&mut self.conns[i].stream, &payload).map_err(|e| {
+            // A worker that died mid-iteration surfaces here as a broken
+            // pipe; report *which* worker instead of a bare I/O error.
+            DistError::WorkerFailed { worker: i as u32, message: format!("send failed: {e}") }
+        })
+    }
+
+    fn recv(&mut self, i: usize) -> Result<Message, DistError> {
+        let timeout = self.cfg.io_timeout;
+        let conn = &mut self.conns[i];
+        let Conn { stream, buf } = conn;
+        match buf.read_frame(stream) {
+            Ok(Some(range)) => {
+                let payload_len = range.len() as u64;
+                let msg = decode_message(buf.payload(range))?;
+                self.bytes_this_iteration += payload_len + 4;
+                if let Message::Fault { worker_id, message } = msg {
+                    return Err(DistError::WorkerFailed { worker: worker_id, message });
+                }
+                Ok(msg)
+            }
+            Ok(None) => Err(DistError::WorkerFailed {
+                worker: i as u32,
+                message: "connection closed unexpectedly".into(),
+            }),
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(DistError::WorkerFailed {
+                    worker: i as u32,
+                    message: format!("receive timed out after {timeout:?}"),
+                })
+            }
+            Err(WireError::Malformed(m)) if m.contains("mid-frame") => {
+                Err(DistError::WorkerFailed { worker: i as u32, message: m.into() })
+            }
+            Err(e) => Err(DistError::Wire(e)),
+        }
+    }
+
+    /// Runs one distributed iteration: word phase (deltas in, boundary out),
+    /// then doc phase, each a barrier across all workers.
+    pub fn run_iteration(&mut self) -> Result<ProcessIterationReport, DistError> {
+        let t0 = Instant::now();
+        self.bytes_this_iteration = 0;
+        let epoch = self.sampler.iterations();
+        let k = self.sampler.params().num_topics;
+        for i in 0..self.workers() {
+            self.send(i, &Message::RunIteration { epoch })?;
+        }
+
+        for phase in [Phase::Word, Phase::Doc] {
+            let mut merged = vec![0u32; k];
+            for i in 0..self.workers() {
+                let delta = match (phase, self.recv(i)?) {
+                    (Phase::Word, Message::WordDelta(d)) => d,
+                    (Phase::Doc, Message::DocDelta(d)) => d,
+                    (_, other) => {
+                        return Err(DistError::Protocol(format!(
+                            "expected {phase:?} delta from worker {i}, got {}",
+                            kind_of(&other)
+                        )))
+                    }
+                };
+                if delta.worker_id != i as u32 || delta.epoch != epoch {
+                    return Err(DistError::Protocol(format!(
+                        "delta from worker {} for epoch {} on worker {i}'s connection at \
+                         epoch {epoch}",
+                        delta.worker_id, delta.epoch
+                    )));
+                }
+                if delta.partial_ck.len() != k {
+                    return Err(DistError::Codec(CodecError::Corrupt(format!(
+                        "partial c_k has {} slots for K = {k}",
+                        delta.partial_ck.len()
+                    ))));
+                }
+                for (m, &p) in merged.iter_mut().zip(&delta.partial_ck) {
+                    *m += p;
+                }
+                let entries = match phase {
+                    Phase::Word => &self.plan.word_delta_entries[i],
+                    Phase::Doc => &self.plan.doc_delta_entries[i],
+                };
+                self.sampler.import_records(entries, &delta.records)?;
+            }
+            self.sampler.install_topic_counts(&merged);
+            for i in 0..self.workers() {
+                let entries = match phase {
+                    Phase::Word => &self.plan.word_sync_entries[i],
+                    Phase::Doc => &self.plan.doc_sync_entries[i],
+                };
+                let mut records = Vec::new();
+                self.sampler.export_records(entries, &mut records);
+                let sync = Sync { epoch, topic_counts: merged.clone(), records };
+                let msg = match phase {
+                    Phase::Word => Message::WordSync(sync),
+                    Phase::Doc => Message::DocSync(sync),
+                };
+                self.send(i, &msg)?;
+            }
+        }
+
+        self.sampler.advance_iteration();
+        Ok(ProcessIterationReport {
+            iteration: self.sampler.iterations(),
+            wall_sec: t0.elapsed().as_secs_f64(),
+            bytes_exchanged: self.bytes_this_iteration,
+        })
+    }
+
+    /// Kills worker `i` outright — the fault-injection hook: the next
+    /// exchange involving it returns a typed [`DistError::WorkerFailed`]
+    /// within the I/O timeout instead of hanging.
+    pub fn kill_worker(&mut self, i: usize) {
+        let _ = self.children[i].kill();
+        let _ = self.children[i].wait();
+    }
+
+    /// Clean shutdown: Shutdown → Bye on every connection, then reaps the
+    /// children. Any worker that misbehaves is killed and the first error
+    /// reported.
+    pub fn shutdown(mut self) -> Result<(), DistError> {
+        let mut first_err = None;
+        for i in 0..self.conns.len() {
+            let result = self.send(i, &Message::Shutdown).and_then(|()| match self.recv(i)? {
+                Message::Bye { .. } => Ok(()),
+                other => Err(DistError::Protocol(format!(
+                    "expected Bye from worker {i}, got {}",
+                    kind_of(&other)
+                ))),
+            });
+            if let Err(e) = result {
+                let _ = self.children[i].kill();
+                first_err.get_or_insert(e);
+            }
+        }
+        for child in &mut self.children {
+            let _ = child.wait();
+        }
+        self.children.clear();
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn kill_all(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.children.clear();
+    }
+}
+
+impl Drop for ProcessCluster {
+    fn drop(&mut self) {
+        // Best effort: never leave orphaned worker processes behind.
+        self.kill_all();
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Word,
+    Doc,
+}
+
+/// Receives one message on a connection; `Ok(None)` is a clean disconnect.
+fn recv_on(conn: &mut Conn) -> Result<Option<Message>, DistError> {
+    let Conn { stream, buf } = conn;
+    match buf.read_frame(stream) {
+        Ok(Some(range)) => Ok(Some(decode_message(buf.payload(range))?)),
+        Ok(None) => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+fn kind_of(msg: &Message) -> &'static str {
+    match msg {
+        Message::Hello { .. } => "Hello",
+        Message::Setup(_) => "Setup",
+        Message::Ready { .. } => "Ready",
+        Message::RunIteration { .. } => "RunIteration",
+        Message::WordDelta(_) => "WordDelta",
+        Message::WordSync(_) => "WordSync",
+        Message::DocDelta(_) => "DocDelta",
+        Message::DocSync(_) => "DocSync",
+        Message::Shutdown => "Shutdown",
+        Message::Bye { .. } => "Bye",
+        Message::Fault { .. } => "Fault",
+    }
+}

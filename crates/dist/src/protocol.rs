@@ -1,0 +1,447 @@
+//! The coordinator↔worker wire protocol of multi-process training.
+//!
+//! Every message is one `warplda_net` frame whose payload starts with a
+//! one-byte tag. Payload encoding rides on the same [`Encoder`]/[`Decoder`]
+//! primitives as the on-disk checkpoint codec, so malformed payloads surface
+//! as the same typed [`CodecError`]s the rest of the workspace handles.
+//!
+//! A training session is:
+//!
+//! ```text
+//! worker            coordinator
+//! Hello{id}     →                  (after connecting over loopback TCP)
+//!               ←  Setup{..}       (corpus, hyper-parameters, optional resume)
+//! Ready{id}     →                  (replica built, bit-identical start)
+//! per iteration (epoch = completed iterations, a barrier per phase):
+//!               ←  RunIteration{epoch}
+//! WordDelta     →                  (owned-column records + partial c_k)
+//!               ←  WordSync        (merged c_k + the records this worker lacks)
+//! DocDelta      →
+//!               ←  DocSync
+//! shutdown:
+//!               ←  Shutdown
+//! Bye{id}       →
+//! ```
+//!
+//! Workers that hit an error mid-protocol send [`Message::Fault`] on a
+//! best-effort basis before exiting, so the coordinator can report *why* a
+//! worker died instead of just a closed connection.
+
+use warplda_corpus::io::codec::{
+    read_corpus, write_corpus, CodecError, CodecResult, Decoder, Encoder,
+};
+use warplda_corpus::Corpus;
+
+/// Frame-size bound of distributed-training connections: Setup frames carry
+/// the whole corpus and resume payloads carry the full packed records, both
+/// far beyond the serving default.
+pub const DIST_MAX_FRAME_BYTES: u32 = 1 << 28;
+
+const TAG_HELLO: u8 = 1;
+const TAG_SETUP: u8 = 2;
+const TAG_READY: u8 = 3;
+const TAG_RUN_ITERATION: u8 = 4;
+const TAG_WORD_DELTA: u8 = 5;
+const TAG_WORD_SYNC: u8 = 6;
+const TAG_DOC_DELTA: u8 = 7;
+const TAG_DOC_SYNC: u8 = 8;
+const TAG_SHUTDOWN: u8 = 9;
+const TAG_BYE: u8 = 10;
+const TAG_FAULT: u8 = 11;
+
+/// Everything a worker needs to build its replica: the corpus, the model, the
+/// seed and (when resuming) the full sampler state to adopt.
+#[derive(Debug, Clone)]
+pub struct Setup {
+    /// Cluster size `P`.
+    pub workers: u32,
+    /// This worker's id in `0..P`.
+    pub worker_id: u32,
+    /// Seed every replica derives its per-entity RNG streams from.
+    pub seed: u64,
+    /// Number of topics `K`.
+    pub num_topics: u64,
+    /// Dirichlet `α`.
+    pub alpha: f64,
+    /// Dirichlet `β`.
+    pub beta: f64,
+    /// MH proposals per token `M`.
+    pub mh_steps: u64,
+    /// Hash-vs-dense count-vector heuristic toggle.
+    pub use_hash_counts: bool,
+    /// The training corpus, shipped in full (every replica holds it).
+    pub corpus: Corpus,
+    /// Sampler state to adopt instead of the fresh random initialization.
+    pub resume: Option<ResumeState>,
+}
+
+/// Full sampler state for resuming mid-training (mirrors the checkpoint
+/// layout minus the RNG, which per-entity streams re-derive from the seed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumeState {
+    /// Completed iterations at the resume point.
+    pub iterations: u64,
+    /// The full packed record buffer.
+    pub records: Vec<u32>,
+    /// The global `c_k` at the resume point.
+    pub topic_counts: Vec<u32>,
+}
+
+/// A worker's phase result: the packed records of its owned entries (in the
+/// deterministic plan order) plus its partial `c_k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    /// Sender's worker id.
+    pub worker_id: u32,
+    /// Epoch the phase belongs to (= completed iterations when it started).
+    pub epoch: u64,
+    /// Packed records of the sender's delta entries, `entries × stride` words.
+    pub records: Vec<u32>,
+    /// The sender's partial `c_k` accumulated over its shard.
+    pub partial_ck: Vec<u32>,
+}
+
+/// The coordinator's phase-boundary broadcast: the merged global `c_k` plus
+/// the packed records of the entries the receiver does not own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sync {
+    /// Epoch the boundary belongs to.
+    pub epoch: u64,
+    /// The merged global `c_k` every replica installs.
+    pub topic_counts: Vec<u32>,
+    /// Packed records of the receiver's sync entries, `entries × stride`.
+    pub records: Vec<u32>,
+}
+
+/// One protocol message (the decoded, owning form).
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// Worker → coordinator: connection opened.
+    Hello {
+        /// Sender's worker id.
+        worker_id: u32,
+    },
+    /// Coordinator → worker: build your replica.
+    Setup(Box<Setup>),
+    /// Worker → coordinator: replica built, ready for iterations.
+    Ready {
+        /// Sender's worker id.
+        worker_id: u32,
+    },
+    /// Coordinator → worker: run iteration `epoch`.
+    RunIteration {
+        /// Expected completed-iterations counter on the worker.
+        epoch: u64,
+    },
+    /// Worker → coordinator: word-phase result.
+    WordDelta(Delta),
+    /// Coordinator → worker: word-phase boundary.
+    WordSync(Sync),
+    /// Worker → coordinator: doc-phase result.
+    DocDelta(Delta),
+    /// Coordinator → worker: doc-phase boundary.
+    DocSync(Sync),
+    /// Coordinator → worker: clean shutdown.
+    Shutdown,
+    /// Worker → coordinator: shutting down.
+    Bye {
+        /// Sender's worker id.
+        worker_id: u32,
+    },
+    /// Worker → coordinator: fatal error, best-effort before exiting.
+    Fault {
+        /// Sender's worker id.
+        worker_id: u32,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+fn write_delta(enc: &mut Encoder<'_>, d: &Delta) -> CodecResult<()> {
+    enc.write_u32(d.worker_id)?;
+    enc.write_u64(d.epoch)?;
+    enc.write_u32_slice(&d.records)?;
+    enc.write_u32_slice(&d.partial_ck)
+}
+
+fn read_delta(dec: &mut Decoder<'_>) -> CodecResult<Delta> {
+    Ok(Delta {
+        worker_id: dec.read_u32()?,
+        epoch: dec.read_u64()?,
+        records: dec.read_u32_vec()?,
+        partial_ck: dec.read_u32_vec()?,
+    })
+}
+
+fn write_sync(enc: &mut Encoder<'_>, s: &Sync) -> CodecResult<()> {
+    enc.write_u64(s.epoch)?;
+    enc.write_u32_slice(&s.topic_counts)?;
+    enc.write_u32_slice(&s.records)
+}
+
+fn read_sync(dec: &mut Decoder<'_>) -> CodecResult<Sync> {
+    Ok(Sync {
+        epoch: dec.read_u64()?,
+        topic_counts: dec.read_u32_vec()?,
+        records: dec.read_u32_vec()?,
+    })
+}
+
+/// Encodes a message into a frame payload (send it with
+/// [`warplda_net::write_frame`]).
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut enc = Encoder::new(&mut out);
+    // Writing to a Vec cannot fail; unwrap keeps the call sites clean.
+    (|| -> CodecResult<()> {
+        match msg {
+            Message::Hello { worker_id } => {
+                enc.write_u8(TAG_HELLO)?;
+                enc.write_u32(*worker_id)
+            }
+            Message::Setup(s) => {
+                enc.write_u8(TAG_SETUP)?;
+                enc.write_u32(s.workers)?;
+                enc.write_u32(s.worker_id)?;
+                enc.write_u64(s.seed)?;
+                enc.write_u64(s.num_topics)?;
+                enc.write_f64(s.alpha)?;
+                enc.write_f64(s.beta)?;
+                enc.write_u64(s.mh_steps)?;
+                enc.write_bool(s.use_hash_counts)?;
+                write_corpus(&mut enc, &s.corpus)?;
+                match &s.resume {
+                    None => enc.write_bool(false),
+                    Some(r) => {
+                        enc.write_bool(true)?;
+                        enc.write_u64(r.iterations)?;
+                        enc.write_u32_slice(&r.records)?;
+                        enc.write_u32_slice(&r.topic_counts)
+                    }
+                }
+            }
+            Message::Ready { worker_id } => {
+                enc.write_u8(TAG_READY)?;
+                enc.write_u32(*worker_id)
+            }
+            Message::RunIteration { epoch } => {
+                enc.write_u8(TAG_RUN_ITERATION)?;
+                enc.write_u64(*epoch)
+            }
+            Message::WordDelta(d) => {
+                enc.write_u8(TAG_WORD_DELTA)?;
+                write_delta(&mut enc, d)
+            }
+            Message::WordSync(s) => {
+                enc.write_u8(TAG_WORD_SYNC)?;
+                write_sync(&mut enc, s)
+            }
+            Message::DocDelta(d) => {
+                enc.write_u8(TAG_DOC_DELTA)?;
+                write_delta(&mut enc, d)
+            }
+            Message::DocSync(s) => {
+                enc.write_u8(TAG_DOC_SYNC)?;
+                write_sync(&mut enc, s)
+            }
+            Message::Shutdown => enc.write_u8(TAG_SHUTDOWN),
+            Message::Bye { worker_id } => {
+                enc.write_u8(TAG_BYE)?;
+                enc.write_u32(*worker_id)
+            }
+            Message::Fault { worker_id, message } => {
+                enc.write_u8(TAG_FAULT)?;
+                enc.write_u32(*worker_id)?;
+                enc.write_str(message)
+            }
+        }
+    })()
+    .expect("encoding to a Vec cannot fail");
+    out
+}
+
+/// Decodes one frame payload. Unknown tags and trailing bytes are typed
+/// [`CodecError::Corrupt`] — the rejection gate for malformed deltas.
+pub fn decode_message(payload: &[u8]) -> CodecResult<Message> {
+    let mut cursor = payload;
+    let msg = {
+        let mut dec = Decoder::new(&mut cursor);
+        let tag = dec.read_u8()?;
+        match tag {
+            TAG_HELLO => Message::Hello { worker_id: dec.read_u32()? },
+            TAG_SETUP => {
+                let workers = dec.read_u32()?;
+                let worker_id = dec.read_u32()?;
+                let seed = dec.read_u64()?;
+                let num_topics = dec.read_u64()?;
+                let alpha = dec.read_f64()?;
+                let beta = dec.read_f64()?;
+                let mh_steps = dec.read_u64()?;
+                let use_hash_counts = dec.read_bool()?;
+                let corpus = read_corpus(&mut dec)?;
+                let resume = if dec.read_bool()? {
+                    Some(ResumeState {
+                        iterations: dec.read_u64()?,
+                        records: dec.read_u32_vec()?,
+                        topic_counts: dec.read_u32_vec()?,
+                    })
+                } else {
+                    None
+                };
+                Message::Setup(Box::new(Setup {
+                    workers,
+                    worker_id,
+                    seed,
+                    num_topics,
+                    alpha,
+                    beta,
+                    mh_steps,
+                    use_hash_counts,
+                    corpus,
+                    resume,
+                }))
+            }
+            TAG_READY => Message::Ready { worker_id: dec.read_u32()? },
+            TAG_RUN_ITERATION => Message::RunIteration { epoch: dec.read_u64()? },
+            TAG_WORD_DELTA => Message::WordDelta(read_delta(&mut dec)?),
+            TAG_WORD_SYNC => Message::WordSync(read_sync(&mut dec)?),
+            TAG_DOC_DELTA => Message::DocDelta(read_delta(&mut dec)?),
+            TAG_DOC_SYNC => Message::DocSync(read_sync(&mut dec)?),
+            TAG_SHUTDOWN => Message::Shutdown,
+            TAG_BYE => Message::Bye { worker_id: dec.read_u32()? },
+            TAG_FAULT => Message::Fault { worker_id: dec.read_u32()?, message: dec.read_string()? },
+            other => return Err(CodecError::Corrupt(format!("unknown message tag {other:#04x}"))),
+        }
+    };
+    if !cursor.is_empty() {
+        return Err(CodecError::Corrupt(format!(
+            "{} trailing bytes after message payload",
+            cursor.len()
+        )));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warplda_corpus::{Document, Vocabulary};
+
+    fn tiny_corpus() -> Corpus {
+        let mut vocab = Vocabulary::new();
+        for w in ["a", "b", "c"] {
+            vocab.intern(w);
+        }
+        Corpus::from_parts(
+            vec![Document::from_tokens(vec![0, 1, 2, 1]), Document::from_tokens(vec![2, 0])],
+            vocab,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        let msgs = vec![
+            Message::Hello { worker_id: 3 },
+            Message::Setup(Box::new(Setup {
+                workers: 4,
+                worker_id: 2,
+                seed: 0xFEED,
+                num_topics: 12,
+                alpha: 0.5,
+                beta: 0.01,
+                mh_steps: 2,
+                use_hash_counts: true,
+                corpus: tiny_corpus(),
+                resume: Some(ResumeState {
+                    iterations: 7,
+                    records: vec![0, 1, 2, 1, 0, 2],
+                    topic_counts: vec![2, 2, 2],
+                }),
+            })),
+            Message::Ready { worker_id: 1 },
+            Message::RunIteration { epoch: 42 },
+            Message::WordDelta(Delta {
+                worker_id: 0,
+                epoch: 5,
+                records: vec![1, 2, 3],
+                partial_ck: vec![4, 5],
+            }),
+            Message::WordSync(Sync { epoch: 5, topic_counts: vec![9, 9], records: vec![7] }),
+            Message::DocDelta(Delta {
+                worker_id: 1,
+                epoch: 5,
+                records: vec![],
+                partial_ck: vec![0, 0],
+            }),
+            Message::DocSync(Sync { epoch: 5, topic_counts: vec![1], records: vec![] }),
+            Message::Shutdown,
+            Message::Bye { worker_id: 0 },
+            Message::Fault { worker_id: 2, message: "shard went sideways".into() },
+        ];
+        for msg in msgs {
+            let payload = encode_message(&msg);
+            let back = decode_message(&payload).unwrap();
+            match (&msg, &back) {
+                (Message::Hello { worker_id: a }, Message::Hello { worker_id: b }) => {
+                    assert_eq!(a, b)
+                }
+                (Message::Setup(a), Message::Setup(b)) => {
+                    assert_eq!(a.workers, b.workers);
+                    assert_eq!(a.worker_id, b.worker_id);
+                    assert_eq!(a.seed, b.seed);
+                    assert_eq!(a.num_topics, b.num_topics);
+                    assert_eq!(a.alpha.to_bits(), b.alpha.to_bits());
+                    assert_eq!(a.beta.to_bits(), b.beta.to_bits());
+                    assert_eq!(a.mh_steps, b.mh_steps);
+                    assert_eq!(a.use_hash_counts, b.use_hash_counts);
+                    assert_eq!(a.corpus.num_tokens(), b.corpus.num_tokens());
+                    assert_eq!(a.resume, b.resume);
+                }
+                (Message::Ready { worker_id: a }, Message::Ready { worker_id: b }) => {
+                    assert_eq!(a, b)
+                }
+                (Message::RunIteration { epoch: a }, Message::RunIteration { epoch: b }) => {
+                    assert_eq!(a, b)
+                }
+                (Message::WordDelta(a), Message::WordDelta(b)) => assert_eq!(a, b),
+                (Message::WordSync(a), Message::WordSync(b)) => assert_eq!(a, b),
+                (Message::DocDelta(a), Message::DocDelta(b)) => assert_eq!(a, b),
+                (Message::DocSync(a), Message::DocSync(b)) => assert_eq!(a, b),
+                (Message::Shutdown, Message::Shutdown) => {}
+                (Message::Bye { worker_id: a }, Message::Bye { worker_id: b }) => {
+                    assert_eq!(a, b)
+                }
+                (
+                    Message::Fault { worker_id: a, message: am },
+                    Message::Fault { worker_id: b, message: bm },
+                ) => {
+                    assert_eq!(a, b);
+                    assert_eq!(am, bm);
+                }
+                (sent, got) => panic!("message kind changed in flight: {sent:?} -> {got:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_codec_errors() {
+        // Empty payload.
+        assert!(matches!(decode_message(&[]), Err(CodecError::Io(_))));
+        // Unknown tag.
+        assert!(matches!(decode_message(&[0xEE]), Err(CodecError::Corrupt(_))));
+        // Truncated delta: announced lengths larger than the payload.
+        let mut payload = encode_message(&Message::WordDelta(Delta {
+            worker_id: 0,
+            epoch: 1,
+            records: vec![1, 2, 3, 4],
+            partial_ck: vec![1],
+        }));
+        payload.truncate(payload.len() - 6);
+        assert!(matches!(decode_message(&payload), Err(CodecError::Io(_))));
+        // Trailing garbage after a well-formed message.
+        let mut payload = encode_message(&Message::Shutdown);
+        payload.push(0);
+        assert!(matches!(decode_message(&payload), Err(CodecError::Corrupt(_))));
+    }
+}

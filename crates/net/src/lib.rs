@@ -1,0 +1,489 @@
+//! Length-prefixed binary framing shared by the serving and distributed
+//! runtimes.
+//!
+//! Every message on a WarpLDA socket is one **frame**: a little-endian `u32`
+//! payload length followed by the payload. This crate owns the three pieces
+//! every protocol built on that framing needs, so the query server
+//! (`warplda-serve`) and the multi-process training runtime (`warplda-dist`)
+//! share one implementation instead of two drifting copies:
+//!
+//! * [`FrameBuffer`] — an incremental frame reader over a byte stream. A
+//!   short or timed-out read never loses bytes; data accumulates until a
+//!   frame is complete, which is what lets workers poll shutdown flags on
+//!   read timeouts and batch already-buffered frames. The maximum frame size
+//!   is enforced in **exactly one place** (the internal length peek consulted
+//!   by [`has_complete_frame`](FrameBuffer::has_complete_frame),
+//!   [`take_frame`](FrameBuffer::take_frame) and
+//!   [`read_frame`](FrameBuffer::read_frame)), and is configurable per
+//!   buffer: the query server keeps the conservative
+//!   [`DEFAULT_MAX_FRAME_BYTES`], the distributed runtime raises it for
+//!   corpus and record-delta frames.
+//! * [`PayloadReader`] — a zero-copy bounds-checked cursor over one payload.
+//! * [`connect_with_retry`] — TCP connect with bounded exponential backoff,
+//!   for clients and workers racing a listener that is still coming up.
+//!
+//! Encoding is in-place: [`begin_frame`]/[`end_frame`] reserve and patch the
+//! length prefix so a frame is built directly in the output buffer, and
+//! [`write_frame`] writes an already-encoded payload as one frame.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Default bound on a single frame's payload. Frames announcing more are
+/// rejected before any allocation happens — a corrupt or hostile length
+/// prefix must not OOM the receiver.
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = 16 << 20;
+
+/// Errors of the framing layer.
+#[derive(Debug)]
+pub enum WireError {
+    /// An underlying socket error.
+    Io(std::io::Error),
+    /// A frame announced a length above the receiver's configured bound.
+    FrameTooLarge {
+        /// The announced length.
+        len: u32,
+        /// The receiving buffer's configured bound.
+        limit: u32,
+    },
+    /// The payload did not parse (truncated fields, unknown opcode, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::FrameTooLarge { len, limit } => {
+                write!(f, "frame of {len} bytes exceeds the {limit}-byte limit")
+            }
+            WireError::Malformed(what) => write!(f, "malformed message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame encoding
+// ---------------------------------------------------------------------------
+
+/// Reserves a length prefix in `out` and returns its position; pair with
+/// [`end_frame`] once the payload has been appended.
+pub fn begin_frame(out: &mut Vec<u8>) -> usize {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    at
+}
+
+/// Patches the length prefix reserved by [`begin_frame`] at `at` to cover
+/// everything appended since.
+pub fn end_frame(out: &mut [u8], at: usize) {
+    let len = (out.len() - at - 4) as u32;
+    out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Writes one complete frame (length prefix + `payload`) to `w`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Incremental frame reading
+// ---------------------------------------------------------------------------
+
+/// An incremental frame reader over a byte stream.
+///
+/// Unlike `read_exact`, a short or timed-out read never loses bytes: data
+/// accumulates in the internal buffer until a frame is complete. That is what
+/// lets socket workers (a) poll their shutdown flag on read timeouts safely
+/// and (b) batch — after serving one request, any *already buffered* frames
+/// are served before the responses are flushed, so pipelined clients get one
+/// write per batch instead of one per request.
+#[derive(Debug)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+    max_frame: u32,
+}
+
+impl FrameBuffer {
+    /// A buffer starting at `capacity` bytes (it grows to the largest frame
+    /// seen and is then reused without further allocation), enforcing the
+    /// [`DEFAULT_MAX_FRAME_BYTES`] bound.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_max_frame(capacity, DEFAULT_MAX_FRAME_BYTES)
+    }
+
+    /// A buffer with an explicit frame-size bound (the distributed runtime
+    /// ships corpus shards and record deltas larger than the serving bound).
+    pub fn with_max_frame(capacity: usize, max_frame: u32) -> Self {
+        Self { buf: vec![0; capacity.max(4096)], start: 0, end: 0, max_frame }
+    }
+
+    /// The frame-size bound this buffer enforces.
+    pub fn max_frame_bytes(&self) -> u32 {
+        self.max_frame
+    }
+
+    /// Discards all buffered bytes (a worker reuses one buffer across
+    /// connections; a dead connection's tail must not leak into the next).
+    pub fn reset(&mut self) {
+        self.start = 0;
+        self.end = 0;
+    }
+
+    /// **The** single point where the frame-size bound is enforced: peeks the
+    /// next frame's announced payload length, if a length prefix is buffered.
+    /// Every read path (`has_complete_frame`, `take_frame`, `read_frame`)
+    /// funnels through here, so the bound cannot drift between them.
+    fn peek_len(&self) -> Result<Option<usize>, WireError> {
+        if self.end - self.start < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[self.start..self.start + 4].try_into().unwrap());
+        if len > self.max_frame {
+            return Err(WireError::FrameTooLarge { len, limit: self.max_frame });
+        }
+        Ok(Some(len as usize))
+    }
+
+    /// Returns `true` when calling [`take_frame`](Self::take_frame) would
+    /// make progress without touching the socket: either a complete frame is
+    /// already buffered (the batching predicate) or the buffered length
+    /// prefix is oversized and the typed error is ready to surface.
+    pub fn has_complete_frame(&self) -> bool {
+        match self.peek_len() {
+            Err(_) => true,
+            Ok(Some(len)) => self.end - self.start >= 4 + len,
+            Ok(None) => false,
+        }
+    }
+
+    /// Takes the next complete frame, if one is buffered, returning the
+    /// payload range (read it with [`payload`](Self::payload)). Rejects
+    /// oversized length prefixes before buffering their payload.
+    pub fn take_frame(&mut self) -> Result<Option<std::ops::Range<usize>>, WireError> {
+        let Some(len) = self.peek_len()? else { return Ok(None) };
+        if self.end - self.start < 4 + len {
+            return Ok(None);
+        }
+        let range = self.start + 4..self.start + 4 + len;
+        self.start = range.end;
+        Ok(Some(range))
+    }
+
+    /// The bytes of a range returned by [`take_frame`](Self::take_frame).
+    /// Only valid until the next [`fill_from`](Self::fill_from).
+    pub fn payload(&self, range: std::ops::Range<usize>) -> &[u8] {
+        &self.buf[range]
+    }
+
+    /// Reads once from `r` into the buffer (compacting/growing first if
+    /// needed). Returns the number of bytes read — `0` means clean EOF.
+    /// `WouldBlock`/`TimedOut` errors pass through for the caller to treat
+    /// as "no data yet".
+    pub fn fill_from(&mut self, r: &mut impl Read) -> std::io::Result<usize> {
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        }
+        if self.end == self.buf.len() {
+            if self.start > 0 {
+                self.buf.copy_within(self.start..self.end, 0);
+                self.end -= self.start;
+                self.start = 0;
+            } else {
+                let new_len = self.buf.len() * 2;
+                self.buf.resize(new_len, 0);
+            }
+        }
+        let n = r.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n)
+    }
+
+    /// Blocking receive: fills from `r` until one complete frame is buffered
+    /// and returns its payload range. Returns `Ok(None)` on a clean EOF at a
+    /// frame boundary; an EOF *inside* a frame is a typed
+    /// [`WireError::Malformed`]. A read timeout configured on `r` passes
+    /// through as [`WireError::Io`], which is what bounds every receive in
+    /// the distributed coordinator — a dead peer surfaces as a typed error,
+    /// never a hang.
+    pub fn read_frame(
+        &mut self,
+        r: &mut impl Read,
+    ) -> Result<Option<std::ops::Range<usize>>, WireError> {
+        loop {
+            if let Some(range) = self.take_frame()? {
+                return Ok(Some(range));
+            }
+            let n = self.fill_from(r)?;
+            if n == 0 {
+                return if self.start == self.end {
+                    Ok(None)
+                } else {
+                    Err(WireError::Malformed("connection closed mid-frame"))
+                };
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload decoding
+// ---------------------------------------------------------------------------
+
+/// A zero-copy bounds-checked cursor over one payload.
+pub struct PayloadReader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Wraps a payload slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes }
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.bytes.len() < n {
+            return Err(WireError::Malformed("truncated payload"));
+        }
+        let (head, rest) = self.bytes.split_at(n);
+        self.bytes = rest;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string field.
+    pub fn str_field(&mut self) -> Result<&'a str, WireError> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.bytes(len)?).map_err(|_| WireError::Malformed("invalid UTF-8"))
+    }
+
+    /// Asserts the payload was consumed exactly.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection helpers
+// ---------------------------------------------------------------------------
+
+/// Connects to `addr`, retrying with bounded exponential backoff: `attempts`
+/// tries, sleeping `initial_backoff` after the first failure and doubling up
+/// to `max_backoff` between the rest. Returns the last connect error if every
+/// attempt fails. Used by distributed workers racing the coordinator's
+/// listener and by clients of a server that is still coming up.
+pub fn connect_with_retry<A: ToSocketAddrs>(
+    addr: A,
+    attempts: u32,
+    initial_backoff: Duration,
+    max_backoff: Duration,
+) -> std::io::Result<TcpStream> {
+    assert!(attempts >= 1, "need at least one connect attempt");
+    let mut backoff = initial_backoff;
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(max_backoff);
+        }
+        match TcpStream::connect(&addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("at least one attempt was made"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, payload).unwrap();
+        out
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_and_batched_frames() {
+        // Three frames, delivered in adversarial chunk sizes.
+        let mut stream = Vec::new();
+        for payload in [&b"alpha"[..], b"beta", b"gamma"] {
+            stream.extend_from_slice(&frame(payload));
+        }
+        for chunk_size in [1usize, 3, 7, stream.len()] {
+            let mut fb = FrameBuffer::new(8);
+            let mut seen = Vec::new();
+            let mut cursor = 0;
+            while cursor < stream.len() || fb.has_complete_frame() {
+                while let Some(range) = fb.take_frame().unwrap() {
+                    seen.push(fb.payload(range).to_vec());
+                }
+                if cursor < stream.len() {
+                    let end = (cursor + chunk_size).min(stream.len());
+                    let mut src = &stream[cursor..end];
+                    let n = fb.fill_from(&mut src).unwrap();
+                    cursor += n;
+                }
+            }
+            assert_eq!(seen, vec![b"alpha".to_vec(), b"beta".to_vec(), b"gamma".to_vec()]);
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_buffering_it() {
+        // Regression: the bound is enforced at the length peek, before any
+        // payload is read, and `has_complete_frame` reports the poisoned
+        // stream as actionable instead of waiting for unreachable bytes.
+        let mut fb = FrameBuffer::new(16);
+        let huge = (DEFAULT_MAX_FRAME_BYTES + 1).to_le_bytes();
+        let mut src = &huge[..];
+        fb.fill_from(&mut src).unwrap();
+        assert!(fb.has_complete_frame(), "oversized prefix must be surfaced, not waited on");
+        match fb.take_frame() {
+            Err(WireError::FrameTooLarge { len, limit }) => {
+                assert_eq!(len, DEFAULT_MAX_FRAME_BYTES + 1);
+                assert_eq!(limit, DEFAULT_MAX_FRAME_BYTES);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_bound_is_enforced_and_permits_larger_frames() {
+        let payload = vec![7u8; (DEFAULT_MAX_FRAME_BYTES as usize) + 8];
+        let stream = frame(&payload);
+        // The default bound rejects it...
+        let mut fb = FrameBuffer::new(64);
+        let mut src = &stream[..];
+        fb.fill_from(&mut src).unwrap();
+        assert!(matches!(fb.take_frame(), Err(WireError::FrameTooLarge { .. })));
+        // ...a raised bound accepts the same bytes.
+        let mut fb = FrameBuffer::with_max_frame(64, DEFAULT_MAX_FRAME_BYTES * 2);
+        let mut src = &stream[..];
+        let range = fb.read_frame(&mut src).unwrap().expect("one frame");
+        assert_eq!(fb.payload(range).len(), payload.len());
+    }
+
+    #[test]
+    fn read_frame_distinguishes_clean_eof_from_truncation() {
+        // Clean EOF at a frame boundary: one frame, then None.
+        let stream = frame(b"only");
+        let mut fb = FrameBuffer::new(8);
+        let mut src = &stream[..];
+        let range = fb.read_frame(&mut src).unwrap().expect("one frame");
+        assert_eq!(fb.payload(range), b"only");
+        assert!(fb.read_frame(&mut src).unwrap().is_none());
+
+        // EOF inside a frame: a typed error, not silence.
+        let truncated = &stream[..stream.len() - 2];
+        let mut fb = FrameBuffer::new(8);
+        let mut src = truncated;
+        match fb.read_frame(&mut src) {
+            Err(WireError::Malformed(msg)) => assert!(msg.contains("mid-frame"), "{msg}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_reader_round_trips_and_bounds_checks() {
+        let mut out = Vec::new();
+        out.push(9u8);
+        out.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        out.extend_from_slice(&u64::MAX.to_le_bytes());
+        out.extend_from_slice(&0.25f64.to_bits().to_le_bytes());
+        out.extend_from_slice(&(2u32).to_le_bytes());
+        out.extend_from_slice(b"ok");
+        let mut r = PayloadReader::new(&out);
+        assert_eq!(r.u8().unwrap(), 9);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.f64().unwrap(), 0.25);
+        assert_eq!(r.str_field().unwrap(), "ok");
+        r.finish().unwrap();
+
+        let mut r = PayloadReader::new(&[1, 2]);
+        assert!(matches!(r.u32(), Err(WireError::Malformed(_))));
+        let r = PayloadReader::new(&[1]);
+        assert!(matches!(r.finish(), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn connect_with_retry_reaches_a_late_listener_and_gives_up_cleanly() {
+        use std::net::TcpListener;
+        // A port with no listener: bounded attempts fail with the last error.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+            // listener dropped here
+        };
+        let start = std::time::Instant::now();
+        assert!(connect_with_retry(dead, 3, Duration::from_millis(5), Duration::from_millis(10))
+            .is_err());
+        assert!(start.elapsed() < Duration::from_secs(5), "backoff must be bounded");
+
+        // A listener that comes up after the first attempt is reached.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = l.local_addr().unwrap();
+            drop(l);
+            addr
+        };
+        let accept = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let l = TcpListener::bind(addr).unwrap();
+            let _ = l.accept();
+        });
+        let stream =
+            connect_with_retry(addr, 10, Duration::from_millis(10), Duration::from_millis(40));
+        accept.join().unwrap();
+        assert!(stream.is_ok(), "late listener should be reached: {stream:?}");
+    }
+}

@@ -32,14 +32,18 @@
 //!
 //! The server decodes requests and encodes responses against reusable
 //! buffers, so a warm worker serves requests without heap allocation; the
-//! [`FrameBuffer`] below is the incremental reader that makes that (and
-//! opportunistic request batching) possible.
+//! framing itself (incremental [`FrameBuffer`], length-prefix encoding, the
+//! bounds-checked payload cursor) lives in the shared `warplda-net` crate and
+//! is re-exported here so existing `serve::wire` paths keep working.
 
-use std::io::Read;
+use warplda_net::{begin_frame, end_frame, PayloadReader};
+
+pub use warplda_net::{FrameBuffer, WireError};
 
 /// Frames larger than this are rejected before any allocation happens — a
-/// corrupt or hostile length prefix must not OOM the server.
-pub const MAX_FRAME_BYTES: u32 = 16 << 20;
+/// corrupt or hostile length prefix must not OOM the server. This is the
+/// shared default bound; see [`warplda_net::DEFAULT_MAX_FRAME_BYTES`].
+pub const MAX_FRAME_BYTES: u32 = warplda_net::DEFAULT_MAX_FRAME_BYTES;
 
 /// Opcode of a raw-text query (tokenized server-side against the frozen
 /// vocabulary).
@@ -51,40 +55,6 @@ pub const OP_QUERY_TOKENS: u8 = 2;
 pub const STATUS_OK: u8 = 0;
 /// Response status: the request was rejected; the payload carries a message.
 pub const STATUS_ERROR: u8 = 1;
-
-/// Errors of the wire layer.
-#[derive(Debug)]
-pub enum WireError {
-    /// An underlying socket error.
-    Io(std::io::Error),
-    /// A frame announced a length above [`MAX_FRAME_BYTES`].
-    FrameTooLarge {
-        /// The announced length.
-        len: u32,
-    },
-    /// The payload did not parse (truncated fields, unknown opcode, …).
-    Malformed(&'static str),
-}
-
-impl std::fmt::Display for WireError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            WireError::Io(e) => write!(f, "socket error: {e}"),
-            WireError::FrameTooLarge { len } => {
-                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit")
-            }
-            WireError::Malformed(what) => write!(f, "malformed message: {what}"),
-        }
-    }
-}
-
-impl std::error::Error for WireError {}
-
-impl From<std::io::Error> for WireError {
-    fn from(e: std::io::Error) -> Self {
-        WireError::Io(e)
-    }
-}
 
 /// A query request (the owning, client-side form).
 #[derive(Debug, Clone)]
@@ -134,17 +104,6 @@ pub struct InferReply {
 // Encoding (appends one complete frame to `out`; allocation-free once `out`
 // has grown to its high-water mark).
 // ---------------------------------------------------------------------------
-
-fn begin_frame(out: &mut Vec<u8>) -> usize {
-    let at = out.len();
-    out.extend_from_slice(&[0u8; 4]);
-    at
-}
-
-fn end_frame(out: &mut [u8], at: usize) {
-    let len = (out.len() - at - 4) as u32;
-    out[at..at + 4].copy_from_slice(&len.to_le_bytes());
-}
 
 /// Appends an encoded request frame to `out`.
 pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
@@ -208,55 +167,6 @@ pub fn encode_error_response(out: &mut Vec<u8>, message: &str) {
 // ---------------------------------------------------------------------------
 // Decoding
 // ---------------------------------------------------------------------------
-
-/// A zero-copy cursor over one payload.
-pub(crate) struct PayloadReader<'a> {
-    bytes: &'a [u8],
-}
-
-impl<'a> PayloadReader<'a> {
-    pub(crate) fn new(bytes: &'a [u8]) -> Self {
-        Self { bytes }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.bytes.len() < n {
-            return Err(WireError::Malformed("truncated payload"));
-        }
-        let (head, rest) = self.bytes.split_at(n);
-        self.bytes = rest;
-        Ok(head)
-    }
-
-    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
-    }
-
-    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    pub(crate) fn f64(&mut self) -> Result<f64, WireError> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    pub(crate) fn str_field(&mut self) -> Result<&'a str, WireError> {
-        let len = self.u32()? as usize;
-        std::str::from_utf8(self.take(len)?).map_err(|_| WireError::Malformed("invalid UTF-8"))
-    }
-
-    pub(crate) fn finish(self) -> Result<(), WireError> {
-        if self.bytes.is_empty() {
-            Ok(())
-        } else {
-            Err(WireError::Malformed("trailing bytes after payload"))
-        }
-    }
-}
 
 /// The borrowed, server-side view of a request. Token-id queries decode into
 /// the caller's reusable buffer so the server's hot path never allocates.
@@ -332,102 +242,6 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             Ok(Response::Error(msg))
         }
         _ => Err(WireError::Malformed("unknown response status")),
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Incremental frame reading
-// ---------------------------------------------------------------------------
-
-/// An incremental frame reader over a byte stream.
-///
-/// Unlike `read_exact`, a short or timed-out read never loses bytes: data
-/// accumulates in the internal buffer until a frame is complete. That is what
-/// lets server workers (a) poll their shutdown flag on read timeouts safely
-/// and (b) batch — after serving one request, any *already buffered* frames
-/// are served before the responses are flushed, so pipelined clients get one
-/// write per batch instead of one per request.
-#[derive(Debug)]
-pub struct FrameBuffer {
-    buf: Vec<u8>,
-    start: usize,
-    end: usize,
-}
-
-impl FrameBuffer {
-    /// A buffer starting at `capacity` bytes (it grows to the largest frame
-    /// seen and is then reused without further allocation).
-    pub fn new(capacity: usize) -> Self {
-        Self { buf: vec![0; capacity.max(4096)], start: 0, end: 0 }
-    }
-
-    /// Discards all buffered bytes (a worker reuses one buffer across
-    /// connections; a dead connection's tail must not leak into the next).
-    pub fn reset(&mut self) {
-        self.start = 0;
-        self.end = 0;
-    }
-
-    /// Returns `true` when at least one *complete* frame is already buffered
-    /// (the batching predicate: more work without touching the socket).
-    pub fn has_complete_frame(&self) -> bool {
-        let avail = self.end - self.start;
-        if avail < 4 {
-            return false;
-        }
-        let len =
-            u32::from_le_bytes(self.buf[self.start..self.start + 4].try_into().unwrap()) as usize;
-        avail >= 4 + len
-    }
-
-    /// Takes the next complete frame, if one is buffered, returning the
-    /// payload range (read it with [`payload`](Self::payload)). Rejects
-    /// oversized length prefixes before buffering their payload.
-    pub fn take_frame(&mut self) -> Result<Option<std::ops::Range<usize>>, WireError> {
-        if self.end - self.start < 4 {
-            return Ok(None);
-        }
-        let len = u32::from_le_bytes(self.buf[self.start..self.start + 4].try_into().unwrap());
-        if len > MAX_FRAME_BYTES {
-            return Err(WireError::FrameTooLarge { len });
-        }
-        let len = len as usize;
-        if self.end - self.start < 4 + len {
-            return Ok(None);
-        }
-        let range = self.start + 4..self.start + 4 + len;
-        self.start = range.end;
-        Ok(Some(range))
-    }
-
-    /// The bytes of a range returned by [`take_frame`](Self::take_frame).
-    /// Only valid until the next [`fill_from`](Self::fill_from).
-    pub fn payload(&self, range: std::ops::Range<usize>) -> &[u8] {
-        &self.buf[range]
-    }
-
-    /// Reads once from `r` into the buffer (compacting/growing first if
-    /// needed). Returns the number of bytes read — `0` means clean EOF.
-    /// `WouldBlock`/`TimedOut` errors pass through for the caller to treat
-    /// as "no data yet".
-    pub fn fill_from(&mut self, r: &mut impl Read) -> std::io::Result<usize> {
-        if self.start == self.end {
-            self.start = 0;
-            self.end = 0;
-        }
-        if self.end == self.buf.len() {
-            if self.start > 0 {
-                self.buf.copy_within(self.start..self.end, 0);
-                self.end -= self.start;
-                self.start = 0;
-            } else {
-                let new_len = self.buf.len() * 2;
-                self.buf.resize(new_len, 0);
-            }
-        }
-        let n = r.read(&mut self.buf[self.end..])?;
-        self.end += n;
-        Ok(n)
     }
 }
 

@@ -15,7 +15,10 @@
 //!   the memory-efficiency experiments;
 //! * [`lda`] — WarpLDA itself plus the CGS / SparseLDA / AliasLDA / F+LDA /
 //!   LightLDA baselines and the evaluation utilities;
-//! * [`dist`] — the simulated distributed runtime;
+//! * [`dist`] — the distributed runtime: the simulated cluster model plus the
+//!   real multi-process coordinator/worker backend;
+//! * [`net`] — the shared length-prefixed framing and connection layer used
+//!   by both the query server and the distributed backend;
 //! * [`serve`] — online serving: frozen [`TopicModel`](serve::TopicModel)
 //!   artifacts, the fold-in inference engine and the TCP query server.
 //!
@@ -48,6 +51,7 @@ pub use warplda_cachesim as cachesim;
 pub use warplda_core as lda;
 pub use warplda_corpus as corpus;
 pub use warplda_dist as dist;
+pub use warplda_net as net;
 pub use warplda_sampling as sampling;
 pub use warplda_serve as serve;
 pub use warplda_sparse as sparse;
@@ -61,14 +65,17 @@ pub mod prelude {
     pub use warplda_core::{
         load_checkpoint, save_checkpoint, AliasLda, Checkpointable, CollapsedGibbs, FPlusLda,
         IterationLog, IterationRecord, LightLda, LightLdaVariant, ModelParams, ParallelWarpLda,
-        Sampler, SamplerState, SparseLda, TrainOutcome, Trainer, TrainerConfig, WarpLda,
-        WarpLdaConfig,
+        Sampler, SamplerState, ShardedWarpLda, SparseLda, TrainOutcome, Trainer, TrainerConfig,
+        WarpLda, WarpLdaConfig,
     };
     pub use warplda_corpus::{
         Corpus, CorpusBuilder, CorpusStats, DatasetPreset, DocMajorView, Document, LdaGenerator,
         OovPolicy, SyntheticConfig, Vocabulary, WordMajorView, ZipfGenerator,
     };
-    pub use warplda_dist::{ClusterConfig, DistributedWarpLda, GridPartition};
+    pub use warplda_dist::{
+        ClusterConfig, DistError, DistributedWarpLda, GridPartition, ProcessCluster,
+        ProcessClusterConfig, ProcessIterationReport, ShardPlan,
+    };
     pub use warplda_serve::{
         fold_in_perplexity, held_out_eval_fn, Client, HeldOutSet, InferConfig, InferScratch,
         InferenceEngine, LatencyStats, Server, ServerConfig, ServerHandle, TopicModel,

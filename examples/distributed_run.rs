@@ -3,12 +3,64 @@
 //! Figures 6 and 9b). The per-iteration history flows through the same
 //! [`IterationLog`] pipeline as single-machine training.
 //!
+//! With `--process`, the same corpus is additionally trained on a **real**
+//! 2-process cluster (`warplda-dist-worker` children over loopback TCP) and
+//! checked bit-for-bit against the simulated run. The worker binary must be
+//! built first: `cargo build --release -p warplda-dist`.
+//!
 //! ```bash
 //! cargo run --release --example distributed_run
+//! cargo run --release --example distributed_run -- --process
 //! ```
 
 use warplda::dist::runner::scaling_sweep;
 use warplda::prelude::*;
+
+fn run_process_backend(corpus: &Corpus, params: ModelParams, config: WarpLdaConfig, seed: u64) {
+    let workers = 2;
+    let iterations = 5;
+    println!("\nreal {workers}-process cluster (loopback TCP):");
+    let mut cluster =
+        ProcessCluster::new(corpus, params, config, seed, ProcessClusterConfig::new(workers))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot spawn the process cluster: {e}");
+                std::process::exit(1);
+            });
+    let mut simulated = DistributedWarpLda::new(
+        corpus,
+        params,
+        config,
+        ClusterConfig::tianhe2_like(workers, config.mh_steps),
+        seed,
+    );
+    println!("{:<6} {:>14} {:>14}", "iter", "Mtokens/s", "wire KB");
+    for _ in 0..iterations {
+        let report = cluster.run_iteration().unwrap_or_else(|e| {
+            eprintln!("distributed iteration failed: {e}");
+            std::process::exit(1);
+        });
+        simulated.run_iteration(corpus, false);
+        println!(
+            "{:<6} {:>14.2} {:>14.1}",
+            report.iteration,
+            corpus.num_tokens() as f64 / report.wall_sec.max(1e-12) / 1e6,
+            report.bytes_exchanged as f64 / 1e3,
+        );
+    }
+    assert_eq!(
+        cluster.assignments(),
+        simulated.assignments(),
+        "multi-process training diverged from the simulated oracle"
+    );
+    println!(
+        "after {iterations} iterations the multi-process assignments are bit-identical \
+         to the simulated cluster's"
+    );
+    cluster.shutdown().unwrap_or_else(|e| {
+        eprintln!("shutdown failed: {e}");
+        std::process::exit(1);
+    });
+}
 
 fn main() {
     let corpus = DatasetPreset::Tiny.generate();
@@ -51,5 +103,10 @@ fn main() {
     println!("{:<10} {:>14} {:>10}", "machines", "Mtokens/s", "speedup");
     for p in scaling_sweep(&corpus, params, config, &[1, 2, 4, 8], 3, 7) {
         println!("{:<10} {:>14.2} {:>10.2}", p.workers, p.tokens_per_sec / 1e6, p.speedup);
+    }
+
+    // --- Real multi-process backend (opt-in) ------------------------------
+    if std::env::args().any(|a| a == "--process") {
+        run_process_backend(&corpus, params, config, 7);
     }
 }

@@ -1,0 +1,219 @@
+//! Real multi-process distributed training, differentially tested against the
+//! simulated cluster oracle.
+//!
+//! [`ProcessCluster`] spawns genuine `warplda-dist-worker` OS processes and
+//! exchanges deltas over loopback TCP; the simulated
+//! [`DistributedWarpLda`] and the in-process [`ParallelWarpLda`] advance the
+//! same model without any wire. Because WarpLDA derives every phase's
+//! randomness from per-entity RNG streams and merges partial `c_k` by
+//! commutative integer sums, all three backends must agree **bit-for-bit**
+//! after every iteration — assignments, global topic counts and therefore
+//! perplexity. These tests enforce that, plus checkpoint resume across
+//! changing worker counts and typed (non-hanging) failure on worker death.
+
+use std::time::Duration;
+
+use warplda::prelude::*;
+
+fn process_config(workers: usize) -> ProcessClusterConfig {
+    let mut cfg = ProcessClusterConfig::new(workers);
+    // CI boxes are slow but a minute is still far beyond any healthy
+    // exchange on a loopback socket.
+    cfg.io_timeout = Duration::from_secs(60);
+    cfg
+}
+
+/// Per-iteration differential run: multi-process vs. simulated vs. parallel.
+fn assert_backends_agree(
+    corpus: &Corpus,
+    num_topics: usize,
+    workers: usize,
+    iters: u64,
+    seed: u64,
+) {
+    let params = ModelParams::paper_defaults(num_topics);
+    let config = WarpLdaConfig::with_mh_steps(2);
+    let doc_view = DocMajorView::build(corpus);
+    let word_view = WordMajorView::build(corpus, &doc_view);
+
+    let mut cluster = ProcessCluster::new(corpus, params, config, seed, process_config(workers))
+        .expect("spawn cluster");
+    let mut simulated = DistributedWarpLda::new(
+        corpus,
+        params,
+        config,
+        ClusterConfig::tianhe2_like(workers, config.mh_steps),
+        seed,
+    );
+    let mut parallel = ParallelWarpLda::new(corpus, params, config, seed, workers);
+
+    for iter in 1..=iters {
+        let report = cluster.run_iteration().expect("distributed iteration");
+        assert_eq!(report.iteration, iter);
+        simulated.run_iteration(corpus, false);
+        parallel.run_iteration();
+
+        let z = cluster.assignments();
+        assert_eq!(z, simulated.assignments(), "iteration {iter}, {workers} workers: simulated");
+        assert_eq!(z, parallel.assignments(), "iteration {iter}, {workers} workers: parallel");
+        assert_eq!(
+            cluster.topic_counts(),
+            parallel.topic_counts(),
+            "iteration {iter}, {workers} workers: c_k"
+        );
+
+        let ll = log_joint_likelihood(corpus, &doc_view, &word_view, &params, &z);
+        let ll_parallel =
+            log_joint_likelihood(corpus, &doc_view, &word_view, &params, &parallel.assignments());
+        let ppl = perplexity_per_token(ll, corpus.num_tokens()).unwrap();
+        let ppl_parallel = perplexity_per_token(ll_parallel, corpus.num_tokens()).unwrap();
+        assert_eq!(
+            ppl.to_bits(),
+            ppl_parallel.to_bits(),
+            "iteration {iter}, {workers} workers: perplexity bits"
+        );
+    }
+    cluster.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn multi_process_training_matches_the_oracles_on_tiny() {
+    let corpus = DatasetPreset::Tiny.generate_scaled(2);
+    for workers in [1usize, 2, 4] {
+        assert_backends_agree(&corpus, 12, workers, 5, 41);
+    }
+}
+
+#[test]
+fn multi_process_training_matches_the_oracles_on_nytimes_like() {
+    let corpus = DatasetPreset::NyTimesLike.generate_scaled(60);
+    for workers in [2usize, 4] {
+        assert_backends_agree(&corpus, 16, workers, 5, 97);
+    }
+}
+
+#[test]
+fn resume_from_checkpoint_is_bit_identical_across_worker_counts() {
+    let corpus = DatasetPreset::Tiny.generate_scaled(2);
+    let params = ModelParams::paper_defaults(10);
+    let config = WarpLdaConfig::with_mh_steps(2);
+    let seed = 23;
+    let dir = std::env::temp_dir().join(format!("warplda-dist-resume-{}", std::process::id()));
+    let path = dir.join("cluster.ckpt");
+
+    // Train 3 iterations on 2 processes, checkpoint the coordinator replica.
+    let mut first =
+        ProcessCluster::new(&corpus, params, config, seed, process_config(2)).expect("spawn");
+    for _ in 0..3 {
+        first.run_iteration().expect("iteration");
+    }
+    save_checkpoint(first.sampler(), None, &path).expect("save checkpoint");
+    first.shutdown().expect("shutdown");
+
+    // Resume on 4 processes for 3 more iterations.
+    let mut resumed = ShardedWarpLda::new(&corpus, params, config, seed);
+    load_checkpoint(&mut resumed, &path).expect("load checkpoint");
+    assert_eq!(resumed.iterations(), 3);
+    let mut second =
+        ProcessCluster::from_sampler(&corpus, resumed, process_config(4)).expect("respawn");
+    for _ in 0..3 {
+        second.run_iteration().expect("iteration");
+    }
+
+    // The uninterrupted single-machine run is the oracle for the whole span.
+    let mut oracle = ParallelWarpLda::new(&corpus, params, config, seed, 2);
+    for _ in 0..6 {
+        oracle.run_iteration();
+    }
+    assert_eq!(second.assignments(), oracle.assignments());
+    assert_eq!(second.topic_counts(), oracle.topic_counts());
+    second.shutdown().expect("shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_worker_surfaces_as_a_typed_error_not_a_hang() {
+    let corpus = DatasetPreset::Tiny.generate_scaled(2);
+    let params = ModelParams::paper_defaults(8);
+    let config = WarpLdaConfig::with_mh_steps(2);
+    let mut cfg = process_config(2);
+    // Tight bound: the error must arrive fast, not after a long timeout.
+    cfg.io_timeout = Duration::from_secs(10);
+    let mut cluster = ProcessCluster::new(&corpus, params, config, 7, cfg).expect("spawn");
+    cluster.run_iteration().expect("healthy iteration");
+
+    cluster.kill_worker(1);
+    let start = std::time::Instant::now();
+    let err = cluster.run_iteration().expect_err("iteration with a dead worker must fail");
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "failure took {:?} — the coordinator hung instead of failing fast",
+        start.elapsed()
+    );
+    match err {
+        DistError::WorkerFailed { worker, .. } => assert_eq!(worker, 1),
+        other => panic!("expected WorkerFailed, got {other}"),
+    }
+}
+
+#[test]
+fn malformed_delta_payloads_are_rejected_with_typed_codec_errors() {
+    use warplda::corpus::io::codec::CodecError;
+    use warplda::dist::protocol::{decode_message, encode_message, Delta, Message};
+
+    let delta = Message::WordDelta(Delta {
+        worker_id: 0,
+        epoch: 1,
+        records: vec![1, 2, 3],
+        partial_ck: vec![4, 5],
+    });
+    let mut bytes = encode_message(&delta);
+    // Truncating the payload mid-vector must be a typed decode error.
+    bytes.truncate(bytes.len() - 3);
+    assert!(decode_message(&bytes).is_err());
+
+    // Unknown message tag.
+    let mut unknown = encode_message(&Message::Shutdown);
+    unknown[0] = 0xEE;
+    match decode_message(&unknown) {
+        Err(CodecError::Corrupt(msg)) => assert!(msg.contains("tag"), "unexpected: {msg}"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+
+    // A structurally valid delta whose records don't match the plan's entry
+    // list (wrong length / out-of-range topic) is rejected by the replica.
+    let corpus = DatasetPreset::Tiny.generate_scaled(2);
+    let mut sampler =
+        ShardedWarpLda::new(&corpus, ModelParams::paper_defaults(6), WarpLdaConfig::default(), 3);
+    let entries = [0u32, 1];
+    assert!(sampler.import_records(&entries, &[0u32; 5]).is_err(), "wrong length");
+    let bad_topic = vec![6u32; 2 * (WarpLdaConfig::default().mh_steps + 1)];
+    assert!(sampler.import_records(&entries, &bad_topic).is_err(), "topic out of range");
+}
+
+#[test]
+fn truncated_frames_and_oversized_prefixes_are_typed_wire_errors() {
+    use warplda::net::{FrameBuffer, WireError};
+
+    // A frame cut mid-payload is Malformed, not a hang or a panic.
+    let mut buf = FrameBuffer::new(64);
+    let mut frame = 8u32.to_le_bytes().to_vec();
+    frame.extend_from_slice(&[1, 2, 3]); // promises 8 bytes, delivers 3
+    let mut cursor = std::io::Cursor::new(frame);
+    match buf.read_frame(&mut cursor) {
+        Err(WireError::Malformed(msg)) => assert!(msg.contains("mid-frame")),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+
+    // An oversized length prefix is rejected before any buffering.
+    let mut buf = FrameBuffer::with_max_frame(64, 1024);
+    let huge = (u32::MAX).to_le_bytes();
+    let mut cursor = std::io::Cursor::new(huge.to_vec());
+    match buf.read_frame(&mut cursor) {
+        Err(WireError::FrameTooLarge { len, limit }) => {
+            assert_eq!(len, u32::MAX);
+            assert_eq!(limit, 1024);
+        }
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+}

@@ -249,6 +249,116 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Distributed protocol: delta/sync messages survive an encode/decode roundtrip
+// bit-for-bit, for arbitrary payload contents.
+// ---------------------------------------------------------------------------
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dist_delta_messages_roundtrip(
+        worker_id in 0u32..64,
+        epoch in 0u64..10_000,
+        records in prop::collection::vec(0u32..1000, 0..200),
+        partial_ck in prop::collection::vec(0u32..100_000, 0..64),
+        word in prop::bool::ANY,
+    ) {
+        use warplda::dist::protocol::{decode_message, encode_message, Delta, Message};
+
+        let delta = Delta { worker_id, epoch, records, partial_ck };
+        let msg = if word {
+            Message::WordDelta(delta.clone())
+        } else {
+            Message::DocDelta(delta.clone())
+        };
+        let decoded = decode_message(&encode_message(&msg)).expect("roundtrip decodes");
+        let back = match (word, decoded) {
+            (true, Message::WordDelta(d)) | (false, Message::DocDelta(d)) => d,
+            (_, other) => return Err(TestCaseError::Fail(format!("wrong variant: {other:?}"))),
+        };
+        prop_assert_eq!(back.worker_id, delta.worker_id);
+        prop_assert_eq!(back.epoch, delta.epoch);
+        prop_assert_eq!(back.records, delta.records);
+        prop_assert_eq!(back.partial_ck, delta.partial_ck);
+    }
+
+    #[test]
+    fn dist_sync_messages_roundtrip(
+        epoch in 0u64..10_000,
+        topic_counts in prop::collection::vec(0u32..1_000_000, 0..64),
+        records in prop::collection::vec(0u32..1000, 0..200),
+    ) {
+        use warplda::dist::protocol::{decode_message, encode_message, Message, Sync};
+
+        let sync = Sync { epoch, topic_counts, records };
+        let decoded = decode_message(&encode_message(&Message::WordSync(sync.clone())))
+            .expect("roundtrip decodes");
+        match decoded {
+            Message::WordSync(back) => {
+                prop_assert_eq!(back.epoch, sync.epoch);
+                prop_assert_eq!(back.topic_counts, sync.topic_counts);
+                prop_assert_eq!(back.records, sync.records);
+            }
+            other => return Err(TestCaseError::Fail(format!("wrong variant: {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Grid shard assignment: for arbitrary corpora and worker counts, every
+// matrix entry is owned by exactly one worker in each phase and the owned
+// shards cover the whole corpus.
+// ---------------------------------------------------------------------------
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grid_shards_partition_every_token(
+        docs in prop::collection::vec(prop::collection::vec(0u32..40, 1..30), 1..40),
+        workers in 1usize..6,
+    ) {
+        let corpus = Corpus::from_token_docs(docs);
+        let doc_view = DocMajorView::build(&corpus);
+        let word_view = WordMajorView::build(&corpus, &doc_view);
+        let grid = GridPartition::build_with(
+            &corpus,
+            &doc_view,
+            &word_view,
+            workers,
+            PartitionStrategy::Greedy,
+            PartitionStrategy::Dynamic,
+        );
+        prop_assert_eq!(grid.total_tokens(), corpus.num_tokens());
+        for d in 0..corpus.num_docs() as u32 {
+            prop_assert!((grid.doc_owner(d) as usize) < workers);
+        }
+        for w in 0..corpus.vocab().len() as u32 {
+            prop_assert!((grid.word_owner(w) as usize) < workers);
+        }
+
+        // Ownership through the exchange plan: in each phase the per-worker
+        // delta entry lists are an exact partition of the token matrix.
+        let sampler = ShardedWarpLda::new(
+            &corpus,
+            ModelParams::new(4, 0.5, 0.1),
+            WarpLdaConfig::with_mh_steps(1),
+            11,
+        );
+        let plan = ShardPlan::build(&sampler, &grid);
+        for lists in [&plan.word_delta_entries, &plan.doc_delta_entries] {
+            let mut seen = vec![false; sampler.num_entries()];
+            for list in lists.iter() {
+                for &e in list {
+                    prop_assert!(!seen[e as usize], "entry {} owned twice", e);
+                    seen[e as usize] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "some entry unowned");
+        }
+    }
+}
+
 // A tiny compile-time check that the probe abstraction is object-safe enough
 // for downstream users who want dynamic instrumentation.
 #[test]
