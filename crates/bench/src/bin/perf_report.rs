@@ -432,6 +432,43 @@ fn main() {
         return;
     }
 
+    if args.iter().any(|a| a == "--validate-serving") {
+        // Schema-checks a serving-trajectory file (the SLO runs serve_load
+        // emits, e.g. BENCH_PR7_SERVE.json); run by CI after the load smoke.
+        let Some(path) = arg_value(&args, "--validate-serving") else {
+            eprintln!("[perf_report] --validate-serving requires a file path");
+            std::process::exit(2);
+        };
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("[perf_report] cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        match warplda_bench::latency::validate_serving_report(&text) {
+            Ok(runs) => {
+                for (label, r) in &runs {
+                    println!(
+                        "[perf_report] {path}: run {label:?} OK ({} workers, {} idle conns, \
+                         {:.0} served/s, p50 {}µs, p95 {}µs, p99 {}µs)",
+                        r.workers,
+                        r.idle_connections,
+                        r.throughput_rps,
+                        r.latency.p50_us,
+                        r.latency.p95_us,
+                        r.latency.p99_us
+                    );
+                }
+                println!("[perf_report] {path}: serving trajectory OK ({} runs)", runs.len());
+            }
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("[perf_report] {path}: {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     if args.iter().any(|a| a == "--validate-scaling") {
         // Schema-checks a multi-process scaling curve (the file dist_scaling
         // emits); run by CI after the 2-worker loopback smoke.

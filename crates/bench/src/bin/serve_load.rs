@@ -1,0 +1,234 @@
+//! The serving-side load harness behind `BENCH_PR7_SERVE.json`.
+//!
+//! Runs the **standard loopback load mix** against the event-loop query
+//! server: train and freeze a small model, bind the server, hold a crowd of
+//! idle keep-alive connections open for the whole run, then drive active
+//! client threads through a fixed request budget. Records throughput and
+//! service-time percentiles (p50/p95/p99) in the serving-trajectory JSON
+//! schema (`warplda-serve-trajectory/1`) that CI validates with
+//! `perf_report --validate-serving` — the serving-side counterpart of the
+//! training `BENCH_*` discipline.
+//!
+//! ```text
+//! cargo run --release -p warplda-bench --bin serve_load                  # standard mix
+//! cargo run --release -p warplda-bench --bin serve_load -- --tiny       # CI smoke budget
+//! cargo run --release -p warplda-bench --bin serve_load -- \
+//!     --out BENCH_PR7_SERVE.json --label workers2_idle1024
+//! ```
+//!
+//! With `--label`, the run is merged into `--out` under
+//! `{"runs": {<label>: …}}` so a single file carries the SLO trajectory
+//! across PRs. The idle crowd is the acceptance criterion made executable:
+//! with 2 workers the server must keep ≥ 1024 idle connections open *and*
+//! keep answering the active clients — a sample of idle connections is
+//! queried at the end of the run to prove they are still live.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use warplda::prelude::*;
+use warplda::serve::wire::Response;
+use warplda_bench::json::Json;
+use warplda_bench::latency::{LatencySummary, ServingRun, SERVING_SCHEMA};
+
+struct LoadMix {
+    workers: usize,
+    idle: usize,
+    clients: usize,
+    requests_per_client: usize,
+}
+
+/// Deterministic unseen pseudo-documents over the model vocabulary.
+fn query_doc(vocab_size: usize, i: usize) -> Vec<u32> {
+    let len = 3 + (i % 9);
+    (0..len).map(|j| ((i * 131 + j * 17 + 7) % vocab_size) as u32).collect()
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
+    arg_value(args, flag).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("[serve_load] {flag} expects a number, got {v:?}");
+            std::process::exit(2);
+        })
+    })
+}
+
+/// Merges `run` into the trajectory file at `out` under `label`, creating
+/// the file if absent. Mirrors the perf-report merge discipline: an existing
+/// file must parse as a trajectory or the write is refused — the runs it
+/// exists to preserve must never be silently clobbered.
+fn write_trajectory(run: &ServingRun, out: &str, label: &str) {
+    let mut doc = match std::fs::read_to_string(out) {
+        Err(_) => {
+            let mut d = Json::obj();
+            d.set("schema", Json::Str(SERVING_SCHEMA.into()));
+            d.set("runs", Json::obj());
+            d
+        }
+        Ok(text) => match Json::parse(&text) {
+            Ok(d) if d.get("runs").is_some() => d,
+            Ok(_) => {
+                eprintln!(
+                    "[serve_load] {out} exists but is not a trajectory file \
+                     (no \"runs\" key); refusing to overwrite it"
+                );
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!(
+                    "[serve_load] {out} exists but is not valid JSON ({e}); \
+                     refusing to overwrite it"
+                );
+                std::process::exit(2);
+            }
+        },
+    };
+    let mut runs = doc.get("runs").cloned().unwrap_or_else(Json::obj);
+    runs.set(label, run.to_json());
+    doc.set("runs", runs);
+    if let Some(parent) = std::path::Path::new(out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(out, doc.render()).expect("write serving trajectory");
+    println!("[serve_load] wrote {out} (label {label:?})");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let mix = LoadMix {
+        workers: arg_usize(&args, "--workers", 2),
+        idle: arg_usize(&args, "--idle", if tiny { 64 } else { 1024 }),
+        clients: arg_usize(&args, "--clients", if tiny { 2 } else { 4 }),
+        requests_per_client: arg_usize(&args, "--requests", if tiny { 250 } else { 2000 }),
+    };
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "target/serve_load.json".to_string());
+    let label = arg_value(&args, "--label")
+        .unwrap_or_else(|| format!("workers{}_idle{}", mix.workers, mix.idle));
+
+    // 1. Train and freeze the serving model.
+    let corpus = DatasetPreset::Tiny.generate_scaled(4);
+    let params = ModelParams::paper_defaults(16);
+    let mut sampler = WarpLda::new(&corpus, params, WarpLdaConfig::with_mh_steps(2), 42);
+    for _ in 0..20 {
+        sampler.run_iteration();
+    }
+    let model = Arc::new(TopicModel::freeze_sampler(&sampler, &corpus));
+    let vocab_size = corpus.vocab_size();
+
+    // 2. Serve on loopback.
+    let config = ServerConfig { workers: mix.workers, ..ServerConfig::default() };
+    let handle =
+        Server::bind("127.0.0.1:0", Arc::clone(&model), config).expect("bind loopback server");
+    let addr = handle.addr();
+    println!(
+        "[serve_load] serving on {addr}: {} workers, {} idle connections, \
+         {} clients x {} requests",
+        mix.workers, mix.idle, mix.clients, mix.requests_per_client
+    );
+
+    // 3. Hold the idle keep-alive crowd open for the entire run.
+    let mut idle_conns: Vec<Client> = (0..mix.idle)
+        .map(|i| {
+            Client::connect_timeout(addr, Duration::from_secs(10))
+                .unwrap_or_else(|e| panic!("idle connection {i} failed: {e}"))
+        })
+        .collect();
+    let settle = Instant::now();
+    while (handle.counters().open_connections as usize) < mix.idle {
+        assert!(
+            settle.elapsed() < Duration::from_secs(30),
+            "idle crowd never settled: {:?}",
+            handle.counters()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // 4. Active traffic: every client issues its budget of mixed-size
+    //    queries; replies are counted by kind.
+    let ok_replies = AtomicU64::new(0);
+    let error_replies = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..mix.clients {
+            let ok_replies = &ok_replies;
+            let error_replies = &error_replies;
+            scope.spawn(move || {
+                let mut client = Client::connect_timeout(addr, Duration::from_secs(10))
+                    .expect("active client connect");
+                client.set_deadline(Some(Duration::from_secs(60))).expect("deadline");
+                for r in 0..mix.requests_per_client {
+                    let i = c * mix.requests_per_client + r;
+                    let doc = query_doc(vocab_size, i);
+                    match client.query_tokens(&doc, i as u64, 4).expect("query") {
+                        Response::Ok(_) => ok_replies.fetch_add(1, Ordering::Relaxed),
+                        Response::Error(_) => error_replies.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+            });
+        }
+    });
+    let duration = t0.elapsed();
+
+    // 5. Snapshot the run's accounting before anything else touches the
+    //    server — the liveness probes below must not pollute the measurement.
+    let stats = handle.latency();
+    let counters = handle.counters();
+
+    // 6. The idle crowd must still be live: query a sample of it.
+    for (i, client) in idle_conns.iter_mut().enumerate().step_by((mix.idle / 8).max(1)) {
+        client.set_deadline(Some(Duration::from_secs(60))).expect("deadline");
+        let doc = query_doc(vocab_size, i);
+        match client.query_tokens(&doc, i as u64, 4).expect("idle query") {
+            Response::Ok(_) | Response::Error(_) => {}
+        }
+    }
+
+    // 7. Assemble the run record.
+    let requests = (mix.clients * mix.requests_per_client) as u64;
+    let answered = ok_replies.load(Ordering::Relaxed) + error_replies.load(Ordering::Relaxed);
+    assert_eq!(answered, requests, "every request must be answered: {counters:?}");
+    let served = stats.count.saturating_sub(counters.deadline_expired);
+    let run = ServingRun {
+        workers: mix.workers as u64,
+        idle_connections: mix.idle as u64,
+        requests,
+        shed: counters.shed_overload,
+        duration_secs: duration.as_secs_f64(),
+        throughput_rps: served as f64 / duration.as_secs_f64().max(1e-9),
+        latency: LatencySummary {
+            count: stats.count,
+            mean_us: stats.mean_us,
+            p50_us: stats.p50_us,
+            p95_us: stats.p95_us,
+            p99_us: stats.p99_us,
+            max_us: stats.max_us,
+        },
+    };
+    println!(
+        "[serve_load] {} requests in {:.2}s: {:.0} served/s, \
+         p50 {}µs p95 {}µs p99 {}µs max {}µs; shed {}, deadline-expired {}, \
+         stalled disconnects {}",
+        requests,
+        run.duration_secs,
+        run.throughput_rps,
+        run.latency.p50_us,
+        run.latency.p95_us,
+        run.latency.p99_us,
+        run.latency.max_us,
+        counters.shed_overload,
+        counters.deadline_expired,
+        counters.stalled_disconnects
+    );
+
+    write_trajectory(&run, &out, &label);
+    drop(idle_conns);
+    handle.shutdown();
+}

@@ -116,6 +116,141 @@ pub fn validate_serve_report(text: &str) -> Result<LatencySummary, Vec<String>> 
     LatencySummary::from_json(doc.get("latency").expect("checked above")).map_err(|e| vec![e])
 }
 
+// ---------------------------------------------------------------------------
+// Serving trajectory: committed SLO runs, the serving-side BENCH_* discipline
+// ---------------------------------------------------------------------------
+
+/// Schema string of a serving-trajectory file (e.g. `BENCH_PR7_SERVE.json`).
+///
+/// A trajectory is `{"schema": …, "runs": {<label>: <run>}}` where every run
+/// is one measured execution of the standard loopback load mix (`serve_load`):
+/// idle keep-alive connections held open while active clients drive queries.
+/// Like the training-side `BENCH_*` files, runs accumulate across PRs under
+/// distinct labels so the serving SLOs have a committed history, not a
+/// one-off measurement.
+pub const SERVING_SCHEMA: &str = "warplda-serve-trajectory/1";
+
+/// Required numeric fields of one serving run, besides the `latency` block.
+pub const SERVING_RUN_FIELDS: [&str; 6] =
+    ["workers", "idle_connections", "requests", "shed", "duration_secs", "throughput_rps"];
+
+/// One measured run of the standard serving load mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingRun {
+    /// Worker threads the server ran with.
+    pub workers: u64,
+    /// Idle keep-alive connections held open for the whole run.
+    pub idle_connections: u64,
+    /// Requests the active clients sent.
+    pub requests: u64,
+    /// Requests shed with a typed overload error (admission control).
+    pub shed: u64,
+    /// Wall-clock duration of the active-traffic phase, seconds.
+    pub duration_secs: f64,
+    /// Served requests per second of wall clock.
+    pub throughput_rps: f64,
+    /// Service-time percentiles over the served requests.
+    pub latency: LatencySummary,
+}
+
+impl ServingRun {
+    /// Renders the run as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("workers", Json::Num(self.workers as f64));
+        o.set("idle_connections", Json::Num(self.idle_connections as f64));
+        o.set("requests", Json::Num(self.requests as f64));
+        o.set("shed", Json::Num(self.shed as f64));
+        o.set("duration_secs", Json::Num(self.duration_secs));
+        o.set("throughput_rps", Json::Num(self.throughput_rps));
+        o.set("latency", self.latency.to_json());
+        o
+    }
+
+    /// Parses a run object previously emitted by [`to_json`](Self::to_json).
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("serving run: missing numeric {key:?}"))
+        };
+        let latency = v.get("latency").ok_or("serving run: missing \"latency\" block")?;
+        Ok(Self {
+            workers: num("workers")? as u64,
+            idle_connections: num("idle_connections")? as u64,
+            requests: num("requests")? as u64,
+            shed: num("shed")? as u64,
+            duration_secs: num("duration_secs")?,
+            throughput_rps: num("throughput_rps")?,
+            latency: LatencySummary::from_json(latency)?,
+        })
+    }
+}
+
+/// Schema-validates one serving run: every field present and numeric, a valid
+/// `latency` block, and the cross-field invariants (positive duration and
+/// throughput, shed + served ≤ sent). `context` prefixes error messages.
+pub fn validate_serving_run(v: &Json, context: &str, errors: &mut Vec<String>) {
+    for field in SERVING_RUN_FIELDS {
+        if v.get(field).and_then(Json::as_f64).is_none() {
+            errors.push(format!("{context}: missing numeric {field:?}"));
+        }
+    }
+    match v.get("latency") {
+        Some(block) => validate_latency_block(block, &format!("{context}/latency"), errors),
+        None => errors.push(format!("{context}: missing \"latency\" block")),
+    }
+    let Ok(run) = ServingRun::from_json(v) else {
+        return; // field errors already recorded
+    };
+    if run.requests == 0 {
+        errors.push(format!("{context}: zero requests sent"));
+    }
+    if run.duration_secs <= 0.0 {
+        errors.push(format!("{context}: non-positive duration_secs"));
+    }
+    if run.throughput_rps <= 0.0 {
+        errors.push(format!("{context}: non-positive throughput_rps"));
+    }
+    if run.latency.count + run.shed > run.requests {
+        errors.push(format!(
+            "{context}: served ({}) + shed ({}) exceeds requests sent ({})",
+            run.latency.count, run.shed, run.requests
+        ));
+    }
+}
+
+/// Validates a whole serving-trajectory file and returns the labelled runs in
+/// file order.
+pub fn validate_serving_report(text: &str) -> Result<Vec<(String, ServingRun)>, Vec<String>> {
+    let doc = Json::parse(text).map_err(|e| vec![format!("not valid JSON: {e}")])?;
+    let mut errors = Vec::new();
+    match doc.get("schema").and_then(Json::as_str) {
+        None => errors.push("missing \"schema\" string".to_string()),
+        Some(s) if s != SERVING_SCHEMA => {
+            errors.push(format!("schema is {s:?}, expected {SERVING_SCHEMA:?}"));
+        }
+        Some(_) => {}
+    }
+    let mut runs = Vec::new();
+    match doc.get("runs").and_then(Json::as_obj) {
+        Some(entries) if !entries.is_empty() => {
+            for (label, run) in entries {
+                validate_serving_run(run, label, &mut errors);
+                if let Ok(parsed) = ServingRun::from_json(run) {
+                    runs.push((label.clone(), parsed));
+                }
+            }
+        }
+        _ => errors.push("\"runs\" must be a non-empty object".to_string()),
+    }
+    if errors.is_empty() {
+        Ok(runs)
+    } else {
+        Err(errors)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +310,76 @@ mod tests {
         bad.set("latency", lat);
         let errors = validate_serve_report(&bad.render()).unwrap_err();
         assert!(errors.iter().any(|e| e.contains("zero requests")), "{errors:?}");
+    }
+
+    fn serving_run() -> ServingRun {
+        ServingRun {
+            workers: 2,
+            idle_connections: 1024,
+            requests: 8_000,
+            shed: 120,
+            duration_secs: 3.5,
+            throughput_rps: 2_251.4,
+            latency: summary(),
+        }
+    }
+
+    fn trajectory(run: &ServingRun) -> Json {
+        let mut runs = Json::obj();
+        runs.set("workers2_idle1024", run.to_json());
+        let mut doc = Json::obj();
+        doc.set("schema", Json::Str(SERVING_SCHEMA.into()));
+        doc.set("runs", runs);
+        doc
+    }
+
+    #[test]
+    fn serving_run_round_trips_through_json() {
+        let run = serving_run();
+        let back = ServingRun::from_json(&run.to_json()).unwrap();
+        assert_eq!(back, run);
+
+        let parsed = validate_serving_report(&trajectory(&run).render()).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, "workers2_idle1024");
+        assert_eq!(parsed[0].1, run);
+    }
+
+    #[test]
+    fn serving_validation_catches_schema_and_invariant_violations() {
+        // Wrong schema string.
+        let mut doc = trajectory(&serving_run());
+        doc.set("schema", Json::Str("warplda-perf-trajectory/1".into()));
+        let errors = validate_serving_report(&doc.render()).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("expected")), "{errors:?}");
+
+        // Empty runs.
+        let mut doc = Json::obj();
+        doc.set("schema", Json::Str(SERVING_SCHEMA.into()));
+        doc.set("runs", Json::obj());
+        let errors = validate_serving_report(&doc.render()).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("non-empty")), "{errors:?}");
+
+        // served + shed exceeding requests sent.
+        let mut run = serving_run();
+        run.shed = run.requests; // latency.count extra responses appear from nowhere
+        let errors = validate_serving_report(&trajectory(&run).render()).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("exceeds requests")), "{errors:?}");
+
+        // Missing field.
+        let mut json = serving_run().to_json();
+        json.set("throughput_rps", Json::Str("fast".into()));
+        let mut errors = Vec::new();
+        validate_serving_run(&json, "t", &mut errors);
+        assert!(errors.iter().any(|e| e.contains("throughput_rps")), "{errors:?}");
+
+        // Broken nested latency block surfaces with the nested context.
+        let mut json = serving_run().to_json();
+        let mut lat = summary().to_json();
+        lat.set("p95_us", Json::Num(9e9)); // above p99
+        json.set("latency", lat);
+        let mut errors = Vec::new();
+        validate_serving_run(&json, "t", &mut errors);
+        assert!(errors.iter().any(|e| e.contains("t/latency") && e.contains("monotone")));
     }
 }

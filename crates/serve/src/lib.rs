@@ -21,12 +21,16 @@
 //!   request derives its own RNG stream from its seed — results are
 //!   bit-identical for a fixed request seed regardless of how many server
 //!   workers run.
-//! * [`server`] — [`Server`]: a std-only TCP query server. A fixed worker
-//!   pool drains a connection queue, pipelined requests are answered in
-//!   batches (one flush per drained batch), the live model is an
-//!   atomically hot-swappable `Arc` (promote a freshly trained checkpoint
-//!   without dropping a request), and per-server latency percentiles
-//!   (p50/p95/p99) accumulate in a lock-free log-scale histogram.
+//! * [`server`] — [`Server`]: an event-loop TCP query server. One
+//!   readiness-loop thread (a vendored `poll(2)` shim) owns the listener and
+//!   every connection and dispatches only ready, complete frames to a fixed
+//!   worker pool — thousands of idle keep-alive connections cost zero
+//!   workers. Admission control sheds typed overload errors past a bounded
+//!   queue, per-request deadlines bound stale work, partial writes keep slow
+//!   readers from blocking anything, the live model is an atomically
+//!   hot-swappable `Arc` (promote a freshly trained checkpoint without
+//!   dropping a request), and per-server latency percentiles (p50/p95/p99)
+//!   accumulate in a lock-free log-scale histogram.
 //! * [`wire`] — the length-prefixed binary wire protocol shared by server
 //!   and client.
 //! * [`holdout`] — fold-in **held-out perplexity**: freeze the current
@@ -48,5 +52,5 @@ pub mod wire;
 pub use holdout::{fold_in_perplexity, held_out_eval_fn, HeldOutSet};
 pub use infer::{InferConfig, InferScratch, InferenceEngine, InferenceResult};
 pub use model::{ModelHandle, TopicModel};
-pub use server::{Client, LatencyStats, Server, ServerConfig, ServerHandle};
+pub use server::{Client, LatencyStats, ServeCounters, Server, ServerConfig, ServerHandle};
 pub use wire::{Request, Response};

@@ -1,33 +1,48 @@
-//! The multi-threaded TCP query server.
+//! The event-loop TCP query server.
 //!
-//! Deliberately std-only (the workspace has no async runtime to vendor):
-//! an acceptor thread pushes connections onto a condvar queue; a **fixed
-//! worker pool** drains it — the serving-side analogue of the training
-//! work-queue ([`ChunkCursor`](warplda_sparse::ChunkCursor)) discipline:
-//! no static assignment of connections to workers, whoever is free claims
-//! the next one.
+//! One **event-loop thread** owns the listener and every connection through a
+//! vendored `poll(2)` readiness shim (the `mio` API subset under `vendor/`):
+//! nonblocking sockets, per-connection [`FrameBuffer`]s and output buffers
+//! all live on the loop, and only *ready, complete request frames* are
+//! dispatched to the fixed **worker pool**. Idle keep-alive connections
+//! therefore cost one fd each and zero workers — the connection count is no
+//! longer capped by the thread count.
 //!
-//! Three serving mechanics worth naming:
+//! Serving mechanics worth naming:
 //!
-//! * **Request batching.** Workers read through an incremental
-//!   [`FrameBuffer`]; after serving a request, any frames a pipelining
-//!   client already delivered are served back-to-back and the staged
-//!   responses flushed with a single write.
-//! * **Atomic hot swap.** The live model is an `Arc` slot behind a
-//!   [`ModelHandle`]; [`ServerHandle::swap_model`] promotes a new model
-//!   between requests without dropping in-flight ones, and responses carry
-//!   the model epoch so clients can observe the promotion.
-//! * **Latency accounting.** Per-request service time accumulates in a
-//!   lock-free log-scale histogram; [`ServerHandle::latency`] reports
-//!   p50/p95/p99/max, which the bench harness serializes into its JSON
-//!   schema.
+//! * **Admission control.** The job queue between the loop and the workers is
+//!   bounded ([`ServerConfig::max_pending`]); a frame arriving over that
+//!   bound is answered immediately with a typed overload
+//!   [`Response::Error`](crate::wire::Response) instead of queueing forever.
+//!   Connections beyond [`ServerConfig::max_connections`] get a typed
+//!   capacity error and are closed.
+//! * **Per-request deadlines.** Every job carries its admission time; a
+//!   worker that claims a job past [`ServerConfig::request_deadline`] answers
+//!   with a typed deadline error instead of doing stale work.
+//! * **Partial writes, never blocking.** Responses go to a per-connection
+//!   output buffer flushed on write readiness; a slow reader delays only its
+//!   own bytes. A reader that stops draining while output is pending beyond
+//!   [`ServerConfig::write_stall_timeout`] is disconnected
+//!   (counted in [`ServeCounters::stalled_disconnects`]) — a stalled client
+//!   can wedge neither a worker nor the loop, and shutdown stays prompt.
+//! * **Accept-error backoff.** Transient accept failures (e.g. fd
+//!   exhaustion) pause the listener with exponential backoff instead of
+//!   hot-spinning, surfaced via [`ServeCounters::accept_errors`].
+//! * **Pipelining with strict ordering.** Many frames of one connection may
+//!   be in flight across workers at once; completions are re-sequenced by a
+//!   per-connection sequence number, so responses always come back in
+//!   request order.
+//! * **Atomic hot swap** and **latency accounting** as before: the live
+//!   model is an `Arc` slot behind a [`ModelHandle`], and per-request time
+//!   (admission → response encoded, i.e. queue wait included) accumulates in
+//!   a lock-free log-scale histogram ([`ServerHandle::latency`]).
 //!
-//! A warm worker serves a request with **zero heap allocations**: frame
-//! buffer, token vector, normalization scratch, inference scratch and
-//! response buffer are all worker-owned and reused (error responses may
-//! format a message — rejection is not the steady state).
+//! Buffers recycle through a shared pool, so a warm request costs no
+//! steady-state allocation growth; θ stays a pure function of (model,
+//! config, document, seed) — bit-identical to the single-threaded
+//! [`InferenceEngine`] for any worker count.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -35,6 +50,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use mio::{Events, Interest, Poll, Token, Waker};
 use warplda_corpus::{tokenize_query_into, OovPolicy};
 
 use crate::infer::{InferConfig, InferScratch, InferenceEngine};
@@ -44,19 +60,33 @@ use crate::wire::{
     FrameBuffer, Request, RequestBody, RequestBodyView, Response, WireError,
 };
 
+/// Typed message of an admission-control shed reply.
+pub const OVERLOAD_MSG: &str = "server overloaded: admission queue full, retry later";
+/// Typed message sent when the connection cap is reached.
+pub const CAPACITY_MSG: &str = "server at connection capacity, retry later";
+/// Typed message of a request that waited past its deadline.
+pub const DEADLINE_MSG: &str = "request deadline exceeded before service";
+
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Worker threads serving connections.
+    /// Worker threads running inference (the event loop is one extra thread).
     pub workers: usize,
     /// What to do with out-of-vocabulary query words.
     pub oov_policy: OovPolicy,
     /// Fold-in inference configuration.
     pub infer: InferConfig,
-    /// Socket read timeout; bounds how long a worker blocks on an idle
-    /// connection before polling the shutdown flag. Purely an internal
-    /// responsiveness knob — timeouts never drop buffered bytes.
-    pub read_timeout: Duration,
+    /// Admission bound: complete frames queued for the workers beyond this
+    /// are shed with a typed overload error instead of queueing forever.
+    pub max_pending: usize,
+    /// A request that has not reached a worker within this deadline is
+    /// answered with a typed deadline error instead of stale work.
+    pub request_deadline: Duration,
+    /// A connection with pending output that accepts no bytes for this long
+    /// is disconnected (a stalled reader must not pin buffers forever).
+    pub write_stall_timeout: Duration,
+    /// Open-connection cap; connections beyond it get a typed capacity error.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -65,7 +95,10 @@ impl Default for ServerConfig {
             workers: 2,
             oov_policy: OovPolicy::Skip,
             infer: InferConfig::default(),
-            read_timeout: Duration::from_millis(50),
+            max_pending: 1024,
+            request_deadline: Duration::from_secs(2),
+            write_stall_timeout: Duration::from_secs(5),
+            max_connections: 8192,
         }
     }
 }
@@ -170,6 +203,8 @@ impl LatencyHistogram {
 }
 
 /// A snapshot of the per-server latency accounting (microseconds).
+/// Per-request time runs from admission (the frame was complete on the loop)
+/// to response encoded, so queue wait under load is part of the number.
 /// Percentiles come from a log-scale histogram with 12.5% bucket resolution,
 /// reported at the bucket's upper edge (conservative).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -189,36 +224,88 @@ pub struct LatencyStats {
 }
 
 // ---------------------------------------------------------------------------
-// Connection queue
+// Serving counters
 // ---------------------------------------------------------------------------
 
-/// The dynamic work queue feeding the fixed worker pool (connections instead
-/// of row/column chunks, a condvar instead of an atomic cursor — same
-/// claim-when-free discipline as [`warplda_sparse::ChunkCursor`]).
-#[derive(Debug)]
-struct ConnQueue {
-    pending: Mutex<VecDeque<TcpStream>>,
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    open_connections: AtomicU64,
+    shed_overload: AtomicU64,
+    deadline_expired: AtomicU64,
+    stalled_disconnects: AtomicU64,
+    accept_errors: AtomicU64,
+    rejected_at_capacity: AtomicU64,
+}
+
+/// A snapshot of the server's failure-mode and admission accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Connections currently open on the event loop.
+    pub open_connections: u64,
+    /// Requests shed with the typed overload error (admission bound hit).
+    pub shed_overload: u64,
+    /// Requests answered with the typed deadline error.
+    pub deadline_expired: u64,
+    /// Connections dropped because a stalled reader stopped draining output.
+    pub stalled_disconnects: u64,
+    /// Accept errors absorbed with backoff (fd exhaustion and kin).
+    pub accept_errors: u64,
+    /// Connections refused with the typed capacity error.
+    pub rejected_at_capacity: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Job queue, completions, buffer pool
+// ---------------------------------------------------------------------------
+
+/// One ready, complete request frame, dispatched to the worker pool.
+struct Job {
+    conn: usize,
+    gen: u64,
+    seq: u64,
+    payload: Vec<u8>,
+    enqueued: Instant,
+}
+
+/// An encoded response on its way back to the event loop.
+struct Completion {
+    conn: usize,
+    gen: u64,
+    seq: u64,
+    buf: Vec<u8>,
+}
+
+/// The bounded work queue feeding the fixed worker pool (complete frames
+/// instead of connections — the same claim-when-free discipline as the
+/// training [`ChunkCursor`](warplda_sparse::ChunkCursor), but admission-
+/// controlled: the event loop sheds instead of pushing past the bound).
+#[derive(Default)]
+struct JobQueue {
+    pending: Mutex<VecDeque<Job>>,
     ready: Condvar,
 }
 
-impl ConnQueue {
-    fn new() -> Self {
-        Self { pending: Mutex::new(VecDeque::new()), ready: Condvar::new() }
+impl JobQueue {
+    fn len(&self) -> usize {
+        self.pending.lock().expect("queue poisoned").len()
     }
 
-    fn push(&self, stream: TcpStream) {
-        self.pending.lock().expect("queue poisoned").push_back(stream);
+    fn push(&self, job: Job) {
+        self.pending.lock().expect("queue poisoned").push_back(job);
         self.ready.notify_one();
     }
 
-    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+    fn pop(&self, shutdown: &AtomicBool) -> Option<Job> {
         let mut q = self.pending.lock().expect("queue poisoned");
         loop {
-            if let Some(stream) = q.pop_front() {
-                return Some(stream);
-            }
             if shutdown.load(Ordering::Acquire) {
                 return None;
+            }
+            if let Some(job) = q.pop_front() {
+                return Some(job);
             }
             let (guard, _) =
                 self.ready.wait_timeout(q, Duration::from_millis(100)).expect("queue poisoned");
@@ -231,19 +318,47 @@ impl ConnQueue {
     }
 }
 
+/// Recycles payload/response buffers between the loop and the workers so the
+/// steady state allocates nothing new.
+#[derive(Default)]
+struct BufferPool {
+    free: Mutex<Vec<Vec<u8>>>,
+}
+
+/// Buffers kept beyond this are dropped instead of pooled.
+const POOL_CAP: usize = 1024;
+
+impl BufferPool {
+    fn get(&self) -> Vec<u8> {
+        self.free.lock().expect("pool poisoned").pop().unwrap_or_default()
+    }
+
+    fn put(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let mut free = self.free.lock().expect("pool poisoned");
+        if free.len() < POOL_CAP {
+            free.push(buf);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
 
 struct Shared {
     model: ModelHandle,
-    queue: ConnQueue,
+    jobs: JobQueue,
+    completions: Mutex<Vec<Completion>>,
+    pool: BufferPool,
     latency: LatencyHistogram,
     config: ServerConfig,
     shutdown: AtomicBool,
+    waker: Waker,
+    counters: Counters,
 }
 
-/// The query server. [`Server::bind`] spawns the acceptor and the worker
+/// The query server. [`Server::bind`] spawns the event loop and the worker
 /// pool and returns a [`ServerHandle`].
 pub struct Server;
 
@@ -256,28 +371,26 @@ impl Server {
         config: ServerConfig,
     ) -> std::io::Result<ServerHandle> {
         assert!(config.workers >= 1, "need at least one server worker");
+        assert!(config.max_pending >= 1, "admission bound must admit at least one request");
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let poll = Poll::new()?;
+        let waker = Waker::new(&poll, WAKER_TOKEN)?;
         let shared = Arc::new(Shared {
             model: ModelHandle::new(model),
-            queue: ConnQueue::new(),
+            jobs: JobQueue::default(),
+            completions: Mutex::new(Vec::new()),
+            pool: BufferPool::default(),
             latency: LatencyHistogram::new(),
             config,
             shutdown: AtomicBool::new(false),
+            waker,
+            counters: Counters::default(),
         });
 
-        let acceptor = {
+        let event_loop = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if shared.shutdown.load(Ordering::Acquire) {
-                        break;
-                    }
-                    if let Ok(stream) = stream {
-                        shared.queue.push(stream);
-                    }
-                }
-            })
+            std::thread::spawn(move || EventLoop::new(shared, listener, poll).run())
         };
         let workers = (0..config.workers)
             .map(|_| {
@@ -286,15 +399,16 @@ impl Server {
             })
             .collect();
 
-        Ok(ServerHandle { addr: local_addr, shared, acceptor: Some(acceptor), workers })
+        Ok(ServerHandle { addr: local_addr, shared, event_loop: Some(event_loop), workers })
     }
 }
 
-/// Handle to a running server: address, hot swap, latency, shutdown.
+/// Handle to a running server: address, hot swap, latency, counters,
+/// shutdown.
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -321,24 +435,37 @@ impl ServerHandle {
         self.shared.latency.stats()
     }
 
-    /// Stops accepting, drains the workers and joins all threads. Workers
-    /// finish the connection they are serving (they notice the flag at the
-    /// next read-timeout tick at the latest).
+    /// Snapshot of the admission/failure-mode counters.
+    pub fn counters(&self) -> ServeCounters {
+        let c = &self.shared.counters;
+        ServeCounters {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            open_connections: c.open_connections.load(Ordering::Relaxed),
+            shed_overload: c.shed_overload.load(Ordering::Relaxed),
+            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+            stalled_disconnects: c.stalled_disconnects.load(Ordering::Relaxed),
+            accept_errors: c.accept_errors.load(Ordering::Relaxed),
+            rejected_at_capacity: c.rejected_at_capacity.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the event loop and the workers and joins all threads. Nothing in
+    /// the server blocks on a socket, so this returns promptly even with
+    /// stalled readers attached; responses not yet flushed are dropped with
+    /// their connections.
     pub fn shutdown(mut self) {
         self.shutdown_impl();
     }
 
     fn shutdown_impl(&mut self) {
-        if self.acceptor.is_none() {
+        if self.event_loop.is_none() {
             return;
         }
         self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.queue.wake_all();
-        // Unblock the acceptor's blocking `accept` with a throwaway
-        // connection; it checks the flag before queueing anything.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        let _ = self.shared.waker.wake();
+        self.shared.jobs.wake_all();
+        if let Some(event_loop) = self.event_loop.take() {
+            let _ = event_loop.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -353,86 +480,482 @@ impl Drop for ServerHandle {
 }
 
 // ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+const LISTENER_TOKEN: Token = Token(0);
+const WAKER_TOKEN: Token = Token(1);
+/// Connection slot `i` registers under `Token(i + CONN_TOKEN_BASE)`.
+const CONN_TOKEN_BASE: usize = 2;
+
+/// Maintenance tick: stall checks, accept-backoff expiry, shutdown polling.
+const TICK: Duration = Duration::from_millis(20);
+const INITIAL_ACCEPT_BACKOFF: Duration = Duration::from_millis(10);
+const MAX_ACCEPT_BACKOFF: Duration = Duration::from_secs(1);
+
+/// One connection, owned entirely by the event loop.
+struct Conn {
+    stream: TcpStream,
+    frames: FrameBuffer,
+    /// Encoded responses awaiting the socket, in order; `written` bytes of
+    /// the front are already gone.
+    out: Vec<u8>,
+    written: usize,
+    /// Out-of-order completions, re-sequenced before hitting `out`.
+    pending_out: BTreeMap<u64, Vec<u8>>,
+    /// Sequence number the next dispatched frame gets.
+    next_dispatch_seq: u64,
+    /// Sequence number whose response may enter `out` next.
+    next_flush_seq: u64,
+    /// Jobs dispatched whose completions have not come back yet.
+    in_flight: usize,
+    /// Interest currently registered with the poll (`None` = deregistered).
+    registered: Option<Interest>,
+    /// Set when a write found the socket full; cleared on any progress.
+    stalled_since: Option<Instant>,
+    /// EOF seen or framing poisoned: dispatch stops, the connection closes
+    /// once every owed response is flushed.
+    read_closed: bool,
+}
+
+/// A connection slot; `gen` guards stale completions after slot reuse.
+struct Slot {
+    gen: u64,
+    conn: Option<Conn>,
+}
+
+struct EventLoop {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    poll: Poll,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    accept_paused_until: Option<Instant>,
+    accept_backoff: Duration,
+    /// Scratch for draining the completion queue without holding its lock.
+    completions_scratch: Vec<Completion>,
+}
+
+impl EventLoop {
+    fn new(shared: Arc<Shared>, listener: TcpListener, poll: Poll) -> Self {
+        Self {
+            shared,
+            listener,
+            poll,
+            slots: Vec::new(),
+            free: Vec::new(),
+            accept_paused_until: None,
+            accept_backoff: INITIAL_ACCEPT_BACKOFF,
+            completions_scratch: Vec::new(),
+        }
+    }
+
+    fn run(mut self) {
+        if self.listener.set_nonblocking(true).is_err() {
+            return;
+        }
+        if self.poll.register(&self.listener, LISTENER_TOKEN, Interest::READABLE).is_err() {
+            return;
+        }
+        let mut events = Events::with_capacity(256);
+        while !self.shared.shutdown.load(Ordering::Acquire) {
+            if self.poll.poll(&mut events, Some(TICK)).is_err() {
+                break;
+            }
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let now = Instant::now();
+            if let Some(until) = self.accept_paused_until {
+                if now >= until {
+                    self.accept_paused_until = None;
+                    let _ = self.poll.register(&self.listener, LISTENER_TOKEN, Interest::READABLE);
+                }
+            }
+            let mut accept_pending = false;
+            let mut waker_pending = false;
+            let mut ready: Vec<(usize, bool, bool)> = Vec::new();
+            for ev in &events {
+                match ev.token() {
+                    LISTENER_TOKEN => accept_pending = true,
+                    WAKER_TOKEN => waker_pending = true,
+                    Token(t) => {
+                        ready.push((t - CONN_TOKEN_BASE, ev.is_readable(), ev.is_writable()))
+                    }
+                }
+            }
+            if waker_pending {
+                self.shared.waker.drain();
+            }
+            if accept_pending && self.accept_paused_until.is_none() {
+                self.accept_ready(now);
+            }
+            for (idx, readable, writable) in ready {
+                self.conn_ready(idx, readable, writable, now);
+            }
+            // Completions may arrive while we were busy even without a fresh
+            // waker event; always drain.
+            self.drain_completions();
+            self.check_stalls(now);
+        }
+        // Teardown: recycle whatever the workers still send back, then drop
+        // every connection (unflushed responses go down with them).
+        self.shared.jobs.wake_all();
+    }
+
+    // -- accept ------------------------------------------------------------
+
+    fn accept_ready(&mut self, now: Instant) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.accept_backoff = INITIAL_ACCEPT_BACKOFF;
+                    let open =
+                        self.shared.counters.open_connections.load(Ordering::Relaxed) as usize;
+                    if open >= self.shared.config.max_connections {
+                        self.shared.counters.rejected_at_capacity.fetch_add(1, Ordering::Relaxed);
+                        // Best-effort typed refusal; the socket is dropped
+                        // either way, so a full send buffer loses nothing.
+                        let _ = stream.set_nonblocking(true);
+                        let mut buf = self.shared.pool.get();
+                        encode_error_response(&mut buf, CAPACITY_MSG);
+                        let _ = (&stream).write(&buf);
+                        self.shared.pool.put(buf);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.open_conn(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Transient accept failure (EMFILE & kin): pause the
+                    // listener with exponential backoff instead of spinning.
+                    self.shared.counters.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = self.poll.deregister(&self.listener);
+                    self.accept_paused_until = Some(now + self.accept_backoff);
+                    self.accept_backoff = (self.accept_backoff * 2).min(MAX_ACCEPT_BACKOFF);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn open_conn(&mut self, stream: TcpStream) {
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(Slot { gen: 0, conn: None });
+                self.slots.len() - 1
+            }
+        };
+        let token = Token(idx + CONN_TOKEN_BASE);
+        if self.poll.register(&stream, token, Interest::READABLE).is_err() {
+            self.free.push(idx); // fd vanished under us; drop it
+            return;
+        }
+        self.slots[idx].conn = Some(Conn {
+            stream,
+            frames: FrameBuffer::new(4096),
+            out: Vec::new(),
+            written: 0,
+            pending_out: BTreeMap::new(),
+            next_dispatch_seq: 0,
+            next_flush_seq: 0,
+            in_flight: 0,
+            registered: Some(Interest::READABLE),
+            stalled_since: None,
+            read_closed: false,
+        });
+        self.shared.counters.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        let slot = &mut self.slots[idx];
+        let Some(conn) = slot.conn.take() else { return };
+        if conn.registered.is_some() {
+            let _ = self.poll.deregister(&conn.stream);
+        }
+        for (_, buf) in conn.pending_out {
+            self.shared.pool.put(buf);
+        }
+        slot.gen += 1;
+        self.free.push(idx);
+        self.shared.counters.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    // -- readiness ---------------------------------------------------------
+
+    fn conn_ready(&mut self, idx: usize, readable: bool, writable: bool, now: Instant) {
+        let Some(slot) = self.slots.get_mut(idx) else { return };
+        let Some(conn) = slot.conn.as_mut() else { return };
+        let gen = slot.gen;
+        if readable && !conn.read_closed {
+            let mut alive = true;
+            loop {
+                match conn.frames.fill_from(&mut conn.stream) {
+                    Ok(0) => {
+                        // EOF (possibly a half-close: the client may still be
+                        // reading); finish what we owe, then close.
+                        conn.read_closed = true;
+                        break;
+                    }
+                    Ok(_) => {
+                        Self::extract_frames(&self.shared, conn, idx, gen);
+                        if conn.read_closed {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        alive = false;
+                        break;
+                    }
+                }
+            }
+            if !alive {
+                self.close_conn(idx);
+                return;
+            }
+        }
+        let conn = self.slots[idx].conn.as_mut().expect("checked above");
+        if (writable || !conn.out.is_empty()) && !Self::try_write(conn, now) {
+            self.close_conn(idx);
+            return;
+        }
+        self.finish_conn_pass(idx);
+    }
+
+    /// Takes every complete frame out of `conn.frames`: dispatch within the
+    /// admission bound, shed (typed, sequenced) beyond it, poison the
+    /// connection on a framing error.
+    fn extract_frames(shared: &Shared, conn: &mut Conn, idx: usize, gen: u64) {
+        loop {
+            match conn.frames.take_frame() {
+                Ok(Some(range)) => {
+                    let seq = conn.next_dispatch_seq;
+                    conn.next_dispatch_seq += 1;
+                    if shared.jobs.len() >= shared.config.max_pending {
+                        shared.counters.shed_overload.fetch_add(1, Ordering::Relaxed);
+                        let mut buf = shared.pool.get();
+                        encode_error_response(&mut buf, OVERLOAD_MSG);
+                        conn.pending_out.insert(seq, buf);
+                    } else {
+                        let mut payload = shared.pool.get();
+                        payload.extend_from_slice(conn.frames.payload(range));
+                        conn.in_flight += 1;
+                        shared.jobs.push(Job {
+                            conn: idx,
+                            gen,
+                            seq,
+                            payload,
+                            enqueued: Instant::now(),
+                        });
+                    }
+                }
+                Ok(None) => break,
+                // Oversized/garbage framing: the stream cannot be re-synced.
+                // Stop reading; owed responses still flush, then it closes.
+                Err(_) => {
+                    conn.read_closed = true;
+                    break;
+                }
+            }
+        }
+        Self::flush_ready(shared, conn);
+    }
+
+    /// Moves in-order completed responses into the connection's out buffer.
+    fn flush_ready(shared: &Shared, conn: &mut Conn) {
+        while let Some(buf) = conn.pending_out.remove(&conn.next_flush_seq) {
+            conn.out.extend_from_slice(&buf);
+            shared.pool.put(buf);
+            conn.next_flush_seq += 1;
+        }
+    }
+
+    /// Writes as much pending output as the socket takes without blocking.
+    /// Returns `false` when the connection died.
+    fn try_write(conn: &mut Conn, now: Instant) -> bool {
+        while conn.written < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.written..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    conn.written += n;
+                    conn.stalled_since = None;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if conn.stalled_since.is_none() {
+                        conn.stalled_since = Some(now);
+                    }
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if conn.written == conn.out.len() {
+            conn.out.clear();
+            conn.written = 0;
+            conn.stalled_since = None;
+            // Bound the retained high-water mark: a burst to a slow reader
+            // must not pin megabytes on an idle keep-alive connection.
+            if conn.out.capacity() > 1 << 20 {
+                conn.out.shrink_to(1 << 16);
+            }
+        }
+        true
+    }
+
+    /// Re-registers interest to match buffered state and closes connections
+    /// that owe nothing and can receive nothing.
+    fn finish_conn_pass(&mut self, idx: usize) {
+        let slot = &self.slots[idx];
+        let Some(conn) = slot.conn.as_ref() else { return };
+        let done = conn.read_closed
+            && conn.in_flight == 0
+            && conn.pending_out.is_empty()
+            && conn.out.is_empty();
+        if done {
+            self.close_conn(idx);
+            return;
+        }
+        let want_read = !conn.read_closed;
+        let want_write = !conn.out.is_empty();
+        let want = match (want_read, want_write) {
+            (true, true) => Some(Interest::READABLE | Interest::WRITABLE),
+            (true, false) => Some(Interest::READABLE),
+            (false, true) => Some(Interest::WRITABLE),
+            // Waiting only on worker completions: nothing to poll for (and
+            // keeping a closed-read fd registered would spin on POLLIN).
+            (false, false) => None,
+        };
+        let conn = self.slots[idx].conn.as_mut().expect("checked above");
+        if want == conn.registered {
+            return;
+        }
+        let token = Token(idx + CONN_TOKEN_BASE);
+        let ok = match (conn.registered, want) {
+            (None, Some(interest)) => self.poll.register(&conn.stream, token, interest).is_ok(),
+            (Some(_), Some(interest)) => {
+                self.poll.reregister(&conn.stream, token, interest).is_ok()
+            }
+            (Some(_), None) => self.poll.deregister(&conn.stream).is_ok(),
+            (None, None) => true,
+        };
+        if ok {
+            conn.registered = want;
+        } else {
+            self.close_conn(idx);
+        }
+    }
+
+    // -- completions and maintenance ---------------------------------------
+
+    fn drain_completions(&mut self) {
+        debug_assert!(self.completions_scratch.is_empty());
+        {
+            let mut q = self.shared.completions.lock().expect("completions poisoned");
+            std::mem::swap(&mut *q, &mut self.completions_scratch);
+        }
+        let mut touched: Vec<usize> = Vec::new();
+        for completion in self.completions_scratch.drain(..) {
+            let Some(slot) = self.slots.get_mut(completion.conn) else {
+                self.shared.pool.put(completion.buf);
+                continue;
+            };
+            if slot.gen != completion.gen || slot.conn.is_none() {
+                // The connection died while the worker was busy.
+                self.shared.pool.put(completion.buf);
+                continue;
+            }
+            let conn = slot.conn.as_mut().expect("checked above");
+            conn.in_flight -= 1;
+            conn.pending_out.insert(completion.seq, completion.buf);
+            Self::flush_ready(&self.shared, conn);
+            if !touched.contains(&completion.conn) {
+                touched.push(completion.conn);
+            }
+        }
+        let now = Instant::now();
+        for idx in touched {
+            if let Some(conn) = self.slots[idx].conn.as_mut() {
+                if !Self::try_write(conn, now) {
+                    self.close_conn(idx);
+                    continue;
+                }
+            }
+            self.finish_conn_pass(idx);
+        }
+    }
+
+    /// Disconnects stalled readers: pending output, zero progress past the
+    /// configured timeout.
+    fn check_stalls(&mut self, now: Instant) {
+        let timeout = self.shared.config.write_stall_timeout;
+        for idx in 0..self.slots.len() {
+            let Some(conn) = self.slots[idx].conn.as_ref() else { continue };
+            if let Some(since) = conn.stalled_since {
+                if now.duration_since(since) >= timeout {
+                    self.shared.counters.stalled_disconnects.fetch_add(1, Ordering::Relaxed);
+                    self.close_conn(idx);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for EventLoop {
+    fn drop(&mut self) {
+        for idx in 0..self.slots.len() {
+            self.close_conn(idx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Worker
 // ---------------------------------------------------------------------------
 
-/// Everything a worker reuses across requests and connections; the reason a
-/// warm request is allocation-free.
+/// Everything a worker reuses across requests; the reason a warm request is
+/// allocation-free on the worker side.
 struct WorkerScratch {
-    frames: FrameBuffer,
-    out: Vec<u8>,
     tokens: Vec<u32>,
     normalize: String,
     infer: InferScratch,
 }
 
 fn worker_loop(shared: &Shared) {
-    let mut scratch = WorkerScratch {
-        frames: FrameBuffer::new(4096),
-        out: Vec::with_capacity(4096),
-        tokens: Vec::new(),
-        normalize: String::new(),
-        infer: InferScratch::new(),
-    };
-    while let Some(stream) = shared.queue.pop(&shared.shutdown) {
-        // Connection-level errors only poison that connection.
-        let _ = serve_connection(stream, shared, &mut scratch);
+    let mut scratch =
+        WorkerScratch { tokens: Vec::new(), normalize: String::new(), infer: InferScratch::new() };
+    while let Some(job) = shared.jobs.pop(&shared.shutdown) {
+        let mut out = shared.pool.get();
+        if job.enqueued.elapsed() > shared.config.request_deadline {
+            shared.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            encode_error_response(&mut out, DEADLINE_MSG);
+        } else {
+            handle_request(shared, &mut scratch, &job.payload, &mut out);
+        }
+        shared.latency.record_us(job.enqueued.elapsed().as_micros() as u64);
+        shared.pool.put(job.payload);
+        shared.completions.lock().expect("completions poisoned").push(Completion {
+            conn: job.conn,
+            gen: job.gen,
+            seq: job.seq,
+            buf: out,
+        });
+        let _ = shared.waker.wake();
     }
 }
 
-fn serve_connection(
-    mut stream: TcpStream,
-    shared: &Shared,
-    scratch: &mut WorkerScratch,
-) -> std::io::Result<()> {
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(shared.config.read_timeout))?;
-    scratch.frames.reset(); // discard any previous connection's tail
-    scratch.out.clear();
-    loop {
-        // Serve every already-buffered frame as one batch…
-        loop {
-            match scratch.frames.take_frame() {
-                Ok(Some(range)) => {
-                    let t0 = Instant::now();
-                    handle_request(shared, scratch, range);
-                    shared.latency.record_us(t0.elapsed().as_micros() as u64);
-                }
-                Ok(None) => break,
-                // Oversized/garbage framing: drop the connection (after
-                // flushing what we owe), the stream cannot be re-synced.
-                Err(_) => {
-                    let _ = stream.write_all(&scratch.out);
-                    scratch.out.clear();
-                    return Ok(());
-                }
-            }
-        }
-        // …then flush the batch with one write.
-        if !scratch.out.is_empty() {
-            stream.write_all(&scratch.out)?;
-            scratch.out.clear();
-        }
-        match scratch.frames.fill_from(&mut stream) {
-            Ok(0) => return Ok(()), // clean EOF
-            Ok(_) => {}
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if shared.shutdown.load(Ordering::Acquire) {
-                    return Ok(());
-                }
-            }
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-/// Decodes, infers and appends exactly one response frame to `scratch.out`.
-fn handle_request(shared: &Shared, scratch: &mut WorkerScratch, range: std::ops::Range<usize>) {
-    let WorkerScratch { frames, out, tokens, normalize, infer } = scratch;
-    let payload = frames.payload(range);
+/// Decodes, infers and encodes exactly one response frame into `out`.
+fn handle_request(shared: &Shared, scratch: &mut WorkerScratch, payload: &[u8], out: &mut Vec<u8>) {
+    let WorkerScratch { tokens, normalize, infer } = scratch;
     let request = match decode_request(payload, tokens) {
         Ok(r) => r,
         Err(_) => {
@@ -477,7 +1000,8 @@ fn handle_request(shared: &Shared, scratch: &mut WorkerScratch, range: std::ops:
 
 /// A small blocking client for the wire protocol, supporting pipelining
 /// ([`send`](Self::send) several requests, then [`recv`](Self::recv) the
-/// responses in order).
+/// responses in order) and optional deadlines so a dead or wedged server
+/// surfaces as a typed timeout instead of hanging `recv` forever.
 pub struct Client {
     stream: TcpStream,
     frames: FrameBuffer,
@@ -490,6 +1014,25 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Self { stream, frames: FrameBuffer::new(4096), out: Vec::new() })
+    }
+
+    /// Connects with a bound on the connect itself *and* installs the same
+    /// bound as the I/O deadline (see [`set_deadline`](Self::set_deadline)).
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        let mut client = Self { stream, frames: FrameBuffer::new(4096), out: Vec::new() };
+        client.set_deadline(Some(timeout))?;
+        Ok(client)
+    }
+
+    /// Bounds every subsequent socket read and write: past the deadline,
+    /// [`recv`](Self::recv) returns a typed [`WireError::Io`] with kind
+    /// `WouldBlock`/`TimedOut` instead of blocking forever. `None` removes
+    /// the bound.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(deadline)?;
+        self.stream.set_write_timeout(deadline)
     }
 
     /// Sends a request without waiting for the response.
@@ -561,6 +1104,7 @@ mod tests {
         let handle = Server::bind("127.0.0.1:0", Arc::clone(&model), ServerConfig::default())
             .expect("bind loopback");
         let mut client = Client::connect(handle.addr()).unwrap();
+        client.set_deadline(Some(Duration::from_secs(30))).unwrap();
 
         let resp = client.query_text("river water zeppelin fish", 7, 4).unwrap();
         let Response::Ok(reply) = resp else { panic!("expected ok: {resp:?}") };
@@ -593,6 +1137,10 @@ mod tests {
         assert_eq!(stats.count, 4);
         assert!(stats.p50_us <= stats.p95_us && stats.p95_us <= stats.p99_us);
         assert!(stats.p99_us <= stats.max_us, "{stats:?}");
+        let counters = handle.counters();
+        assert_eq!(counters.accepted, 1);
+        assert_eq!(counters.shed_overload, 0);
+        assert_eq!(counters.stalled_disconnects, 0);
         handle.shutdown();
     }
 
@@ -624,7 +1172,6 @@ mod tests {
             let Response::Ok(reply) = client.recv().unwrap() else { panic!("expected ok") };
             thetas.push(reply.theta);
         }
-        // Free the single worker before opening the next connection.
         drop(client);
         // Order preserved: seed s must reproduce its own direct query.
         let mut check = Client::connect(handle.addr()).unwrap();
@@ -640,6 +1187,40 @@ mod tests {
             );
         }
         assert_eq!(handle.latency().count, 16);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pipelined_ordering_holds_across_many_workers() {
+        // 4 workers race on one connection's pipelined burst; the sequence
+        // reassembly must still deliver responses in request order.
+        let model = trained();
+        let handle = Server::bind("127.0.0.1:0", model, ServerConfig::with_workers(4)).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let n = 64u64;
+        for seed in 0..n {
+            client
+                .send(&Request { seed, top_n: 1, body: RequestBody::Text("river water".into()) })
+                .unwrap();
+        }
+        let mut thetas = Vec::new();
+        for _ in 0..n {
+            let Response::Ok(reply) = client.recv().unwrap() else { panic!("expected ok") };
+            thetas.push(reply.theta);
+        }
+        drop(client);
+        let mut check = Client::connect(handle.addr()).unwrap();
+        for (seed, theta) in thetas.iter().enumerate() {
+            let Response::Ok(reply) = check.query_text("river water", seed as u64, 1).unwrap()
+            else {
+                panic!("expected ok")
+            };
+            assert_eq!(
+                reply.theta.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                theta.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "response for seed {seed} out of order under 4 workers"
+            );
+        }
         handle.shutdown();
     }
 
@@ -681,6 +1262,28 @@ mod tests {
         // And a fresh client still gets served.
         let mut client = Client::connect(handle.addr()).unwrap();
         assert!(matches!(client.query_text("river", 1, 1).unwrap(), Response::Ok(_)));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn oversized_frame_closes_the_connection_after_flushing_owed_responses() {
+        let model = trained();
+        let handle = Server::bind("127.0.0.1:0", model, ServerConfig::default()).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        // One good request, then a poisoned length prefix in the same burst.
+        client
+            .send(&Request { seed: 1, top_n: 1, body: RequestBody::Text("river".into()) })
+            .unwrap();
+        client.stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        // The owed response still arrives…
+        assert!(matches!(client.recv().unwrap(), Response::Ok(_)));
+        // …then the server closes: recv sees EOF, not a hang.
+        match client.recv() {
+            Err(WireError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof, "{e:?}")
+            }
+            other => panic!("expected EOF after poisoned framing, got {other:?}"),
+        }
         handle.shutdown();
     }
 

@@ -78,7 +78,8 @@ pub mod prelude {
     };
     pub use warplda_serve::{
         fold_in_perplexity, held_out_eval_fn, Client, HeldOutSet, InferConfig, InferScratch,
-        InferenceEngine, LatencyStats, Server, ServerConfig, ServerHandle, TopicModel,
+        InferenceEngine, LatencyStats, ServeCounters, Server, ServerConfig, ServerHandle,
+        TopicModel,
     };
     pub use warplda_sparse::PartitionStrategy;
 }

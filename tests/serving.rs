@@ -9,9 +9,56 @@
 //! traffic.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use warplda::prelude::*;
-use warplda::serve::wire::Response;
+use warplda::serve::server::{CAPACITY_MSG, OVERLOAD_MSG};
+use warplda::serve::wire::{Request, RequestBody, Response};
+
+/// Polls `cond` until it holds or `timeout` elapses.
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cond()
+}
+
+/// Shrinks a socket's kernel receive buffer to a few KB so a reader that
+/// never drains it backs the sender up almost immediately (kernel buffer
+/// autotuning can otherwise absorb tens of MB before a write would block).
+#[cfg(target_os = "linux")]
+fn clamp_recv_buffer(stream: &std::net::TcpStream) {
+    use std::os::fd::AsRawFd as _;
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const core::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+    let bytes: i32 = 4096;
+    let rc = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_RCVBUF,
+            &bytes as *const i32 as *const core::ffi::c_void,
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "setsockopt(SO_RCVBUF) failed");
+}
+
+#[cfg(not(target_os = "linux"))]
+fn clamp_recv_buffer(_stream: &std::net::TcpStream) {}
 
 /// Trains a small model on the Tiny preset and freezes it.
 fn frozen_model() -> (Corpus, Arc<TopicModel>) {
@@ -179,4 +226,236 @@ fn hot_swap_under_live_traffic_never_drops_a_request() {
     });
     assert_eq!(handle.model_epoch(), 1);
     handle.shutdown();
+}
+
+#[test]
+fn idle_keepalive_connections_beyond_the_worker_count_still_get_served() {
+    // The readiness-loop property: with 2 workers, hundreds of idle
+    // keep-alive connections cost zero workers, active clients keep getting
+    // answers, and the idle connections themselves are still serviceable.
+    let (corpus, model) = frozen_model();
+    let config = ServerConfig { workers: 2, ..ServerConfig::default() };
+    let handle = Server::bind("127.0.0.1:0", Arc::clone(&model), config).expect("bind loopback");
+    let addr = handle.addr();
+
+    let num_idle = 1024;
+    let mut idle: Vec<Client> = (0..num_idle)
+        .map(|i| {
+            let mut c = Client::connect(addr).unwrap_or_else(|e| panic!("idle connect {i}: {e}"));
+            c.set_deadline(Some(Duration::from_secs(60))).expect("deadline");
+            c
+        })
+        .collect();
+    assert!(
+        wait_until(Duration::from_secs(30), || handle.counters().open_connections
+            >= num_idle as u64),
+        "event loop should hold all {num_idle} idle connections open, has {}",
+        handle.counters().open_connections
+    );
+
+    // Active traffic flows while every idle connection stays attached.
+    let docs = queries(corpus.vocab_size(), 40);
+    let mut active = Client::connect(addr).expect("active connect");
+    active.set_deadline(Some(Duration::from_secs(60))).expect("deadline");
+    for (i, doc) in docs.iter().enumerate() {
+        match active.query_tokens(doc, i as u64, 2).expect("active query") {
+            Response::Ok(_) => {}
+            Response::Error(e) => panic!("active query {i} rejected under idle load: {e}"),
+        }
+    }
+
+    // A sample of the long-idle connections is still serviceable.
+    for i in (0..num_idle).step_by(61) {
+        let doc = &docs[i % docs.len()];
+        match idle[i].query_tokens(doc, i as u64, 2).expect("idle query") {
+            Response::Ok(_) => {}
+            Response::Error(e) => panic!("idle connection {i} rejected its query: {e}"),
+        }
+    }
+
+    let t0 = Instant::now();
+    handle.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "shutdown with {num_idle} idle connections attached took {:?}",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn overload_sheds_typed_errors_beyond_the_admission_bound() {
+    let (corpus, model) = frozen_model();
+    // One worker, admission bound of one queued job: a 200-request pipelined
+    // burst must be partially shed — and every shed reply is the typed
+    // overload error, delivered in request order.
+    let config = ServerConfig { workers: 1, max_pending: 1, ..ServerConfig::default() };
+    let handle = Server::bind("127.0.0.1:0", Arc::clone(&model), config).expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.set_deadline(Some(Duration::from_secs(60))).expect("deadline");
+
+    let n = 200usize;
+    let doc: Vec<u32> = queries(corpus.vocab_size(), 1).remove(0);
+    for seed in 0..n {
+        client
+            .send(&Request { seed: seed as u64, top_n: 1, body: RequestBody::Tokens(doc.clone()) })
+            .expect("send");
+    }
+    let (mut ok, mut shed) = (0usize, 0usize);
+    for i in 0..n {
+        match client.recv().unwrap_or_else(|e| panic!("response {i}: {e}")) {
+            Response::Ok(_) => ok += 1,
+            Response::Error(msg) => {
+                assert_eq!(msg, OVERLOAD_MSG, "shed reply must be the typed overload error");
+                shed += 1;
+            }
+        }
+    }
+    assert_eq!(ok + shed, n);
+    assert!(ok >= 1, "at least the first admitted request must be served");
+    assert!(shed >= 1, "a burst of {n} against max_pending=1 must shed");
+    let counters = handle.counters();
+    assert_eq!(counters.shed_overload, shed as u64, "counter must match client-visible sheds");
+
+    // The connection survives overload: a lone follow-up request succeeds.
+    match client.query_tokens(&doc, 7, 1).expect("follow-up") {
+        Response::Ok(_) => {}
+        Response::Error(e) => panic!("connection should recover after shedding: {e}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn connections_beyond_the_cap_get_a_typed_capacity_error() {
+    let (_corpus, model) = frozen_model();
+    let config = ServerConfig { workers: 1, max_connections: 2, ..ServerConfig::default() };
+    let handle = Server::bind("127.0.0.1:0", Arc::clone(&model), config).expect("bind loopback");
+    let mut keep: Vec<Client> = (0..2).map(|_| Client::connect(handle.addr()).unwrap()).collect();
+    assert!(wait_until(Duration::from_secs(10), || handle.counters().open_connections >= 2));
+
+    // The third connection is refused with the typed capacity error (best
+    // effort: the refusal may also surface as an immediate EOF).
+    let mut over = Client::connect(handle.addr()).expect("tcp connect still accepted");
+    over.set_deadline(Some(Duration::from_secs(10))).expect("deadline");
+    match over.recv() {
+        Ok(Response::Error(msg)) => assert_eq!(msg, CAPACITY_MSG),
+        Ok(other) => panic!("expected capacity error, got {other:?}"),
+        Err(_) => {} // closed before the refusal flushed — still refused
+    }
+    assert!(wait_until(Duration::from_secs(10), || handle.counters().rejected_at_capacity >= 1));
+
+    // The connections under the cap still work.
+    for (i, client) in keep.iter_mut().enumerate() {
+        client.set_deadline(Some(Duration::from_secs(60))).expect("deadline");
+        match client.query_text("anything", i as u64, 1).expect("query under cap") {
+            Response::Ok(_) | Response::Error(_) => {}
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn stalled_readers_are_disconnected_and_shutdown_stays_prompt() {
+    use std::io::Write as _;
+
+    let (corpus, model) = frozen_model();
+    let config = ServerConfig {
+        workers: 2,
+        max_pending: 4096,
+        write_stall_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", Arc::clone(&model), config).expect("bind loopback");
+    let addr = handle.addr();
+
+    // A client that sends requests and never reads a byte: its responses pile
+    // up until they overrun the socket buffers, the write stalls, and the
+    // server must disconnect it instead of wedging. Kernel socket buffering
+    // is host-tuned (tens of MB on some hosts), so clamp this client's
+    // receive buffer to keep the overrun cheap, and keep pumping bursts as a
+    // backstop until the stall registers.
+    let mut stalled = std::net::TcpStream::connect(addr).expect("connect");
+    clamp_recv_buffer(&stalled);
+    stalled.set_write_timeout(Some(Duration::from_millis(500))).expect("write timeout");
+    let doc: Vec<u32> = queries(corpus.vocab_size(), 1).remove(0);
+    let mut burst = Vec::new();
+    for seed in 0..20_000u64 {
+        warplda::serve::wire::encode_request(
+            &Request { seed, top_n: 8, body: RequestBody::Tokens(doc.clone()) },
+            &mut burst,
+        );
+    }
+    let pump_deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < pump_deadline && handle.counters().stalled_disconnects == 0 {
+        match stalled.write(&burst) {
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            // Reset by the server: the disconnect already happened.
+            Err(_) => break,
+        }
+    }
+    assert!(
+        wait_until(Duration::from_secs(10), || handle.counters().stalled_disconnects >= 1),
+        "stalled reader was not disconnected: {:?}",
+        handle.counters()
+    );
+
+    // Active clients were never blocked by the stalled one.
+    let mut active = Client::connect(addr).expect("connect");
+    active.set_deadline(Some(Duration::from_secs(60))).expect("deadline");
+    match active.query_tokens(&doc, 1, 2).expect("query") {
+        Response::Ok(_) => {}
+        Response::Error(e) => panic!("active client starved by a stalled reader: {e}"),
+    }
+
+    // Shutdown is prompt even with a fresh stalled reader attached — the
+    // regression that motivated this PR: a worker stuck in write_all made
+    // ServerHandle::shutdown (and Drop) hang indefinitely.
+    let mut second = std::net::TcpStream::connect(addr).expect("connect");
+    second.write_all(&burst).expect("burst");
+    std::thread::sleep(Duration::from_millis(50)); // let responses queue
+    let t0 = Instant::now();
+    handle.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "shutdown with a stalled reader attached took {:?}",
+        t0.elapsed()
+    );
+    drop(stalled);
+    drop(second);
+}
+
+#[test]
+fn client_deadline_turns_a_wedged_server_into_a_typed_timeout() {
+    use warplda::serve::wire::WireError;
+
+    // A listener that accepts and then never answers: without a deadline
+    // recv() would hang forever (the old CI-timeout failure mode).
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let wedged = std::thread::spawn(move || {
+        let (_stream, _) = listener.accept().expect("accept");
+        std::thread::sleep(Duration::from_secs(2)); // hold the socket open, say nothing
+    });
+
+    let mut client =
+        Client::connect_timeout(addr, Duration::from_millis(200)).expect("connect with timeout");
+    client.send(&Request { seed: 1, top_n: 1, body: RequestBody::Tokens(vec![0]) }).expect("send");
+    let t0 = Instant::now();
+    match client.recv() {
+        Err(WireError::Io(e)) => {
+            assert!(
+                matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut),
+                "expected a timeout kind, got {e:?}"
+            );
+        }
+        other => panic!("expected a typed timeout, got {other:?}"),
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(1),
+        "deadline must bound recv, took {:?}",
+        t0.elapsed()
+    );
+    wedged.join().expect("wedged listener thread");
 }

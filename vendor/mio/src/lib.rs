@@ -1,0 +1,431 @@
+//! Offline stand-in for the `mio` crate: a readiness event loop over `poll(2)`.
+//!
+//! The query server (`warplda-serve`) needs one thread to watch thousands of
+//! sockets for readiness — the `mio` use case — but the workspace has no
+//! registry access, so this shim covers the small API subset the server
+//! consumes, layered directly on the platform's `poll(2)` (declared via
+//! `extern "C"` against the C library Rust already links; no `libc` crate):
+//!
+//! * [`Poll`] — owns the registration table ([`register`](Poll::register) /
+//!   [`reregister`](Poll::reregister) / [`deregister`](Poll::deregister) by
+//!   raw fd) and blocks in [`poll`](Poll::poll) until a registered fd is
+//!   ready or the timeout elapses.
+//! * [`Interest`] — readable/writable interest flags, composable with `|`.
+//! * [`Events`] / [`Event`] — the readiness results of one `poll` call; an
+//!   event carries its registration [`Token`] and the readable/writable/
+//!   closed/error facts.
+//! * [`Waker`] — cross-thread wakeup via a self-pipe (a nonblocking
+//!   `UnixStream` pair whose read end is registered like any socket);
+//!   [`wake`](Waker::wake) is safe to call from any thread and coalesces.
+//!
+//! Differences from real mio, chosen for simplicity at the server's scale:
+//! registration is by [`RawFd`](std::os::unix::io::RawFd) (any `AsRawFd`
+//! source; mio's `event::Source` trait is not reproduced), the backend is
+//! `poll(2)` rather than epoll — O(registered fds) per call, perfectly fine
+//! for the few thousand connections a single serve node holds — and
+//! registrations are level-triggered only (which is what the server's
+//! buffer-draining loops want).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![cfg(unix)]
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+// --------------------------------------------------------------------------
+// poll(2) FFI
+// --------------------------------------------------------------------------
+
+/// `struct pollfd` from `<poll.h>`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    /// `poll(2)`; present in the C library every Rust binary on unix links.
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+// --------------------------------------------------------------------------
+// Tokens and interest
+// --------------------------------------------------------------------------
+
+/// Identifies a registration; returned with every readiness event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both (`READABLE | WRITABLE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness.
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Whether this interest includes read readiness.
+    pub fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// Whether this interest includes write readiness.
+    pub fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+
+    fn to_poll_events(self) -> i16 {
+        let mut ev = 0;
+        if self.is_readable() {
+            ev |= POLLIN;
+        }
+        if self.is_writable() {
+            ev |= POLLOUT;
+        }
+        ev
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+// --------------------------------------------------------------------------
+// Events
+// --------------------------------------------------------------------------
+
+/// One fd's readiness, as reported by [`Poll::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    revents: i16,
+}
+
+impl Event {
+    /// The [`Token`] the fd was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Read readiness (includes hangup: a closed peer is readable-to-EOF).
+    pub fn is_readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR) != 0
+    }
+
+    /// Write readiness (includes error conditions, so a failed connection
+    /// surfaces through the write path instead of hanging).
+    pub fn is_writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLHUP | POLLERR) != 0
+    }
+
+    /// The peer hung up or the fd is in an error state.
+    pub fn is_closed(&self) -> bool {
+        self.revents & (POLLHUP | POLLERR | POLLNVAL) != 0
+    }
+}
+
+/// Reusable container for the readiness results of one [`Poll::poll`] call.
+#[derive(Debug)]
+pub struct Events {
+    inner: Vec<Event>,
+}
+
+impl Events {
+    /// A container; `capacity` only pre-sizes the vector (poll(2) has no
+    /// kernel-side event cap, unlike epoll).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { inner: Vec::with_capacity(capacity) }
+    }
+
+    /// Iterates over the events of the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// Whether the last poll returned no events (pure timeout).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+// --------------------------------------------------------------------------
+// Poll
+// --------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct Registry {
+    /// fd → (token, interest); rebuilt into a pollfd array per poll call.
+    entries: HashMap<RawFd, (Token, Interest)>,
+}
+
+/// The readiness selector: a registration table plus `poll(2)`.
+#[derive(Debug)]
+pub struct Poll {
+    registry: Arc<Mutex<Registry>>,
+    /// Scratch pollfd array, reused across calls.
+    pollfds: Vec<PollFd>,
+}
+
+impl Poll {
+    /// A new, empty selector.
+    pub fn new() -> std::io::Result<Self> {
+        Ok(Self { registry: Arc::new(Mutex::new(Registry::default())), pollfds: Vec::new() })
+    }
+
+    /// Registers `source` under `token` with `interest`. Registering an
+    /// already-registered fd is an error (use [`reregister`](Self::reregister)).
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> std::io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut reg = self.registry.lock().expect("registry poisoned");
+        if reg.entries.contains_key(&fd) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                "fd already registered",
+            ));
+        }
+        reg.entries.insert(fd, (token, interest));
+        Ok(())
+    }
+
+    /// Replaces the token/interest of an already-registered fd.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> std::io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut reg = self.registry.lock().expect("registry poisoned");
+        match reg.entries.get_mut(&fd) {
+            Some(slot) => {
+                *slot = (token, interest);
+                Ok(())
+            }
+            None => Err(std::io::Error::new(std::io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    /// Removes an fd from the selector.
+    pub fn deregister(&self, source: &impl AsRawFd) -> std::io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut reg = self.registry.lock().expect("registry poisoned");
+        match reg.entries.remove(&fd) {
+            Some(_) => Ok(()),
+            None => Err(std::io::Error::new(std::io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    /// Blocks until at least one registered fd is ready or `timeout` elapses
+    /// (`None` blocks indefinitely), filling `events` with the results.
+    /// Retries transparently on `EINTR`.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> std::io::Result<()> {
+        events.inner.clear();
+        self.pollfds.clear();
+        {
+            let reg = self.registry.lock().expect("registry poisoned");
+            for (&fd, &(_, interest)) in &reg.entries {
+                self.pollfds.push(PollFd { fd, events: interest.to_poll_events(), revents: 0 });
+            }
+        }
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 1ns timeout still sleeps ~1ms instead of spinning.
+            Some(d) => d.as_millis().min(i32::MAX as u128).max(u128::from(!d.is_zero())) as i32,
+        };
+        let n = loop {
+            let rc =
+                unsafe { poll(self.pollfds.as_mut_ptr(), self.pollfds.len() as u64, timeout_ms) };
+            if rc >= 0 {
+                break rc as usize;
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        if n > 0 {
+            let reg = self.registry.lock().expect("registry poisoned");
+            for pfd in &self.pollfds {
+                if pfd.revents != 0 {
+                    if let Some(&(token, _)) = reg.entries.get(&pfd.fd) {
+                        events.inner.push(Event { token, revents: pfd.revents });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------------------------
+// Waker
+// --------------------------------------------------------------------------
+
+/// Wakes a [`Poll`] from another thread, via a self-pipe registered like any
+/// other fd: [`wake`](Waker::wake) writes one byte to the pipe, making the
+/// registered read end readable; the event loop calls
+/// [`drain`](Waker::drain) when it sees the waker's token.
+#[derive(Debug)]
+pub struct Waker {
+    /// Write end; `&UnixStream: Write`, so waking needs no lock.
+    tx: UnixStream,
+    /// Read end, registered with the poll; drained on wakeup.
+    rx: UnixStream,
+}
+
+impl Waker {
+    /// Creates the self-pipe and registers its read end under `token`.
+    pub fn new(poll: &Poll, token: Token) -> std::io::Result<Self> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        poll.register(&rx, token, Interest::READABLE)?;
+        Ok(Self { tx, rx })
+    }
+
+    /// Makes the poll's next (or current) wait return. Coalesces: a full pipe
+    /// means a wakeup is already pending, which is success.
+    pub fn wake(&self) -> std::io::Result<()> {
+        match (&self.tx).write(&[1u8]) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Consumes pending wakeup bytes; call when the waker's token polls
+    /// readable, before processing whatever the wakeup announced.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn poll_reports_listener_readable_on_pending_accept() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut poll = Poll::new().unwrap();
+        poll.register(&listener, Token(7), Interest::READABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing pending: a short poll times out empty.
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        let ev = events.iter().next().expect("listener readable");
+        assert_eq!(ev.token(), Token(7));
+        assert!(ev.is_readable());
+    }
+
+    #[test]
+    fn interest_controls_which_readiness_is_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        client.set_nonblocking(true).unwrap();
+
+        let mut poll = Poll::new().unwrap();
+        // A fresh socket with an empty send buffer is writable, not readable.
+        poll.register(&server, Token(1), Interest::WRITABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(1) && e.is_writable()));
+
+        // Reregistered for reads only: quiet until the peer writes.
+        poll.reregister(&server, Token(2), Interest::READABLE).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+        (&client).write_all(b"ping").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(2) && e.is_readable()));
+
+        // Deregistered: silence even with data pending.
+        poll.deregister(&server).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+        assert!(poll.deregister(&server).is_err(), "double deregister is a typed error");
+    }
+
+    #[test]
+    fn peer_hangup_is_readable_and_closed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let mut poll = Poll::new().unwrap();
+        poll.register(&server, Token(3), Interest::READABLE).unwrap();
+        drop(client);
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        let ev = events.iter().find(|e| e.token() == Token(3)).expect("hangup event");
+        assert!(ev.is_readable(), "EOF must be delivered through a read");
+    }
+
+    #[test]
+    fn waker_wakes_an_indefinite_poll_from_another_thread() {
+        let mut poll = Poll::new().unwrap();
+        let waker = Arc::new(Waker::new(&poll, Token(0)).unwrap());
+        let mut events = Events::with_capacity(8);
+
+        let w = Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            w.wake().unwrap();
+        });
+        // Blocks until the other thread wakes us (no timeout).
+        poll.poll(&mut events, None).unwrap();
+        t.join().unwrap();
+        let ev = events.iter().next().expect("waker event");
+        assert_eq!(ev.token(), Token(0));
+        waker.drain();
+
+        // Coalescing: many wakes, one drain, then quiet.
+        for _ in 0..100 {
+            waker.wake().unwrap();
+        }
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(!events.is_empty());
+        waker.drain();
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "drained waker must not re-report");
+    }
+}
