@@ -104,6 +104,7 @@ fn main() {
             std::fs::create_dir_all(parent).expect("create output directory");
         }
     }
-    std::fs::write(&out, doc.render()).expect("write scaling report");
+    warplda::corpus::io::atomic_write_bytes(std::path::Path::new(&out), doc.render().as_bytes())
+        .expect("write scaling report");
     println!("[dist_scaling] wrote {out}");
 }

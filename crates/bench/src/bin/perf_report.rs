@@ -395,7 +395,11 @@ fn write_report(report: Json, out: &str, label: Option<&str>) {
             std::fs::create_dir_all(parent).expect("create output directory");
         }
     }
-    std::fs::write(out, document.render()).expect("write perf report");
+    warplda::corpus::io::atomic_write_bytes(
+        std::path::Path::new(&out),
+        document.render().as_bytes(),
+    )
+    .expect("write perf report");
     println!("[perf_report] wrote {out}");
 }
 

@@ -96,7 +96,8 @@ fn write_trajectory(run: &ServingRun, out: &str, label: &str) {
             std::fs::create_dir_all(parent).expect("create output directory");
         }
     }
-    std::fs::write(out, doc.render()).expect("write serving trajectory");
+    warplda::corpus::io::atomic_write_bytes(std::path::Path::new(&out), doc.render().as_bytes())
+        .expect("write serving trajectory");
     println!("[serve_load] wrote {out} (label {label:?})");
 }
 

@@ -24,7 +24,6 @@ pub mod latency;
 pub mod scaling;
 
 use std::fs;
-use std::io::Write as _;
 use std::path::PathBuf;
 
 use warplda::prelude::*;
@@ -42,14 +41,18 @@ pub fn experiments_dir() -> PathBuf {
 }
 
 /// Writes a CSV file (header + rows) under `target/experiments/` and prints
-/// its path.
+/// its path. Crash-safe: a partially written series never replaces a
+/// previous one.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     let path = experiments_dir().join(name);
-    let mut f = fs::File::create(&path).expect("create CSV file");
-    writeln!(f, "{header}").unwrap();
-    for row in rows {
-        writeln!(f, "{row}").unwrap();
-    }
+    warplda::corpus::io::atomic_write::<std::io::Error, _>(&path, |f| {
+        writeln!(f, "{header}")?;
+        for row in rows {
+            writeln!(f, "{row}")?;
+        }
+        Ok(())
+    })
+    .expect("write CSV file");
     println!("[csv] wrote {}", path.display());
 }
 

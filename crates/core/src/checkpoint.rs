@@ -26,7 +26,7 @@
 //! model.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::path::Path;
 
 use rand::rngs::SmallRng;
@@ -154,21 +154,16 @@ pub fn read_checkpoint(
 }
 
 /// Saves `sampler` (and optionally the vocabulary) to `path`, creating parent
-/// directories as needed.
+/// directories as needed. The write is crash-safe
+/// ([`warplda_corpus::io::atomic_write`]): a crash or I/O error mid-save
+/// leaves any previous checkpoint at `path` intact, and a reader can never
+/// observe a torn file.
 pub fn save_checkpoint(
     sampler: &dyn Checkpointable,
     vocab: Option<&Vocabulary>,
     path: &Path,
 ) -> CodecResult<()> {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
-    let mut w = BufWriter::new(File::create(path)?);
-    write_checkpoint(sampler, vocab, &mut w)?;
-    w.flush()?;
-    Ok(())
+    warplda_corpus::io::atomic_write(path, |w| write_checkpoint(sampler, vocab, w))
 }
 
 /// Loads the checkpoint at `path` into `sampler`; returns the embedded

@@ -10,9 +10,13 @@
 //!   same pre-processing the paper applies to ClueWeb12.
 //!
 //! Binary persistence (model checkpoints, vocabulary snapshots) lives in the
-//! [`codec`] submodule.
+//! [`codec`] submodule; crash-safe file replacement (temp + fsync + rename,
+//! with scripted write-fault injection) lives in [`atomic`].
 
+pub mod atomic;
 pub mod codec;
+
+pub use atomic::{atomic_write, atomic_write_bytes};
 
 use std::io::{BufRead, BufReader, Read, Write};
 

@@ -9,21 +9,41 @@
 //! report the owned records plus a partial `c_k`, and absorb the merged
 //! `c_k` plus the cross-owner records the plan says this worker lacks.
 //!
+//! Once `Ready` is sent, a side thread pulses `Heartbeat` frames every
+//! `Setup.heartbeat_interval_ms` so the coordinator can tell a slow worker
+//! from a hung one. The write half of the socket is shared behind a mutex;
+//! frames are written whole under the lock so the two writers never
+//! interleave bytes.
+//!
+//! When a *peer* worker fails, the coordinator sends `Restore`: this worker
+//! abandons whatever iteration is in flight (without advancing), reinstalls
+//! the boundary state and answers `Ready`. Per-entity RNG streams make the
+//! subsequent replay bit-identical.
+//!
+//! Scripted faults from `Setup.faults` fire at the start of their target
+//! phase: crash (exit mid-protocol), hang (stop heartbeats and stall), delay
+//! (stall but keep heartbeating — the supervisor must *not* kill us), or
+//! corrupt/truncate the next delta frame.
+//!
 //! Every protocol violation or decode failure is reported back as a `Fault`
 //! frame (best effort) before exiting non-zero, so the coordinator gets a
 //! typed error instead of a silent hang.
 
+use std::io::Write;
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use warplda_core::{ModelParams, ShardedWarpLda, WarpLdaConfig};
 use warplda_corpus::{Corpus, DocMajorView, WordMajorView};
+use warplda_dist::fault::{FaultAction, FaultPhase, FaultTimeline};
 use warplda_dist::plan::ShardPlan;
 use warplda_dist::protocol::{
     decode_message, encode_message, Delta, Message, Setup, DIST_MAX_FRAME_BYTES,
 };
 use warplda_dist::GridPartition;
-use warplda_net::{connect_with_retry, write_frame, FrameBuffer};
+use warplda_net::{connect_within, write_frame, FrameBuffer};
 use warplda_sparse::PartitionStrategy;
 
 type Result<T> = std::result::Result<T, Box<dyn std::error::Error>>;
@@ -60,18 +80,51 @@ fn parse_args() -> Result<(String, u32)> {
     Ok((addr.ok_or("missing --connect")?, worker_id.ok_or("missing --worker-id")?))
 }
 
-/// The framed connection back to the coordinator.
-struct Link {
+/// The write half of the coordinator link, shared with the heartbeat thread.
+#[derive(Clone)]
+struct SharedWriter {
+    stream: Arc<Mutex<TcpStream>>,
+}
+
+impl SharedWriter {
+    fn lock(&self) -> std::sync::MutexGuard<'_, TcpStream> {
+        self.stream.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn send(&self, msg: &Message) -> Result<()> {
+        let payload = encode_message(msg);
+        write_frame(&mut *self.lock(), &payload)?;
+        Ok(())
+    }
+
+    /// Scripted `CorruptDelta`: flips the tag byte so the coordinator's
+    /// decode fails with a typed corrupt-payload error.
+    fn send_corrupted(&self, msg: &Message) -> Result<()> {
+        let mut payload = encode_message(msg);
+        payload[0] ^= 0xFF;
+        write_frame(&mut *self.lock(), &payload)?;
+        Ok(())
+    }
+
+    /// Scripted `TruncateDelta`: a full length prefix but only half the
+    /// payload — the coordinator sees the connection close mid-frame.
+    fn send_truncated(&self, msg: &Message) -> Result<()> {
+        let payload = encode_message(msg);
+        let mut stream = self.lock();
+        stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+        stream.write_all(&payload[..payload.len() / 2])?;
+        stream.flush()?;
+        Ok(())
+    }
+}
+
+/// The read half, owned by the protocol loop.
+struct Reader {
     stream: TcpStream,
     buf: FrameBuffer,
 }
 
-impl Link {
-    fn send(&mut self, msg: &Message) -> Result<()> {
-        write_frame(&mut self.stream, &encode_message(msg))?;
-        Ok(())
-    }
-
+impl Reader {
     fn recv(&mut self) -> Result<Message> {
         match self.buf.read_frame(&mut self.stream)? {
             Some(range) => Ok(decode_message(self.buf.payload(range))?),
@@ -80,17 +133,66 @@ impl Link {
     }
 }
 
+/// The heartbeat side thread: pulses until stopped or the socket dies.
+struct Heartbeat {
+    flag: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn start(writer: SharedWriter, worker_id: u32, interval: Duration) -> Self {
+        let flag = Arc::new(AtomicBool::new(false));
+        let stop = flag.clone();
+        let handle = std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                // A send failure means the coordinator is gone; the protocol
+                // loop will notice on its own.
+                if writer.send(&Message::Heartbeat { worker_id }).is_err() {
+                    break;
+                }
+            }
+        });
+        Self { flag, handle: Some(handle) }
+    }
+
+    fn stop(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
 fn run(addr: &str, worker_id: u32) -> Result<()> {
-    let stream =
-        connect_with_retry(addr, 200, Duration::from_millis(5), Duration::from_millis(100))?;
+    let stream = connect_within(
+        addr,
+        Duration::from_secs(30),
+        Duration::from_millis(5),
+        Duration::from_millis(100),
+    )?;
     stream.set_nodelay(true)?;
     // If the coordinator hangs (rather than dying, which shows up as EOF
     // immediately), give up instead of lingering as an orphan.
     stream.set_read_timeout(Some(Duration::from_secs(300)))?;
-    let mut link = Link { stream, buf: FrameBuffer::with_max_frame(1 << 16, DIST_MAX_FRAME_BYTES) };
+    let reader_stream = stream.try_clone()?;
+    let writer = SharedWriter { stream: Arc::new(Mutex::new(stream)) };
+    let mut reader = Reader {
+        stream: reader_stream,
+        buf: FrameBuffer::with_max_frame(1 << 16, DIST_MAX_FRAME_BYTES),
+    };
 
-    link.send(&Message::Hello { worker_id })?;
-    let setup = match link.recv()? {
+    writer.send(&Message::Hello { worker_id })?;
+    let setup = match reader.recv()? {
         Message::Setup(setup) => *setup,
         other => return Err(format!("expected Setup, got {other:?}").into()),
     };
@@ -103,17 +205,28 @@ fn run(addr: &str, worker_id: u32) -> Result<()> {
     }
 
     let (mut sampler, plan) = build_replica(&setup)?;
-    link.send(&Message::Ready { worker_id })?;
+    let mut faults = FaultTimeline::new(setup.faults.clone());
+    writer.send(&Message::Ready { worker_id })?;
+    let heartbeat = (setup.heartbeat_interval_ms > 0).then(|| {
+        Heartbeat::start(
+            writer.clone(),
+            worker_id,
+            Duration::from_millis(setup.heartbeat_interval_ms),
+        )
+    });
 
     let id = worker_id as usize;
-    match serve(&mut link, &mut sampler, &plan, id) {
+    match serve(&mut reader, &writer, &mut sampler, &plan, id, &mut faults, heartbeat.as_ref()) {
         Ok(()) => {
-            link.send(&Message::Bye { worker_id })?;
+            if let Some(hb) = &heartbeat {
+                hb.stop();
+            }
+            writer.send(&Message::Bye { worker_id })?;
             Ok(())
         }
         Err(e) => {
             // Best effort: give the coordinator a typed Fault before dying.
-            let _ = link.send(&Message::Fault { worker_id, message: e.to_string() });
+            let _ = writer.send(&Message::Fault { worker_id, message: e.to_string() });
             Err(e)
         }
     }
@@ -144,17 +257,74 @@ fn build_replica(setup: &Setup) -> Result<(ShardedWarpLda, ShardPlan)> {
     Ok((sampler, plan))
 }
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SyncKind {
+    Word,
+    Doc,
+}
+
+/// What a phase-boundary wait produced: the expected sync, or a `Restore`
+/// that abandons the iteration.
+enum Flow {
+    Synced,
+    Restored,
+}
+
+/// Executes a scripted fault action at its firing point. Crash and the
+/// post-stall half of hang never return; delay returns after sleeping; the
+/// delta-sabotage actions are returned to the caller to apply at send time.
+fn execute_fault(action: FaultAction, heartbeat: Option<&Heartbeat>) -> Option<FaultAction> {
+    match action {
+        FaultAction::Crash => std::process::exit(9),
+        FaultAction::Hang { ms } => {
+            // Silence the heartbeats *first* — the point is to present as
+            // alive-but-stuck, detectable only by the liveness timeout. The
+            // coordinator kills this process long before the stall ends.
+            if let Some(hb) = heartbeat {
+                hb.stop();
+            }
+            std::thread::sleep(Duration::from_millis(ms));
+            std::process::exit(7);
+        }
+        FaultAction::Delay { ms } => {
+            std::thread::sleep(Duration::from_millis(ms));
+            None
+        }
+        sabotage @ (FaultAction::CorruptDelta | FaultAction::TruncateDelta) => Some(sabotage),
+    }
+}
+
 /// The iteration loop: word shard → delta → sync, doc shard → delta → sync,
-/// until `Shutdown`.
-fn serve(link: &mut Link, sampler: &mut ShardedWarpLda, plan: &ShardPlan, id: usize) -> Result<()> {
+/// until `Shutdown`. A `Restore` at any receive point abandons the current
+/// iteration (no advance), reinstalls the boundary state and re-enters the
+/// loop with a fresh `Ready`.
+#[allow(clippy::too_many_arguments)]
+fn serve(
+    reader: &mut Reader,
+    writer: &SharedWriter,
+    sampler: &mut ShardedWarpLda,
+    plan: &ShardPlan,
+    id: usize,
+    faults: &mut FaultTimeline,
+    heartbeat: Option<&Heartbeat>,
+) -> Result<()> {
     let k = sampler.params().num_topics;
     let mut partial = vec![0u32; k];
     let mut records = Vec::new();
-    loop {
-        let epoch = match link.recv()? {
+    'session: loop {
+        let epoch = match reader.recv()? {
             Message::RunIteration { epoch } => epoch,
+            Message::Restore(r) => {
+                sampler.restore(r.iterations, &r.records, &r.topic_counts)?;
+                writer.send(&Message::Ready { worker_id: id as u32 })?;
+                continue;
+            }
             Message::Shutdown => return Ok(()),
-            other => return Err(format!("expected RunIteration or Shutdown, got {other:?}").into()),
+            other => {
+                return Err(
+                    format!("expected RunIteration, Restore or Shutdown, got {other:?}").into()
+                )
+            }
         };
         if epoch != sampler.iterations() {
             return Err(format!(
@@ -164,49 +334,80 @@ fn serve(link: &mut Link, sampler: &mut ShardedWarpLda, plan: &ShardPlan, id: us
             .into());
         }
 
-        sampler.run_word_phase_shard(&plan.owned_words[id], &mut partial);
-        sampler.export_records(&plan.word_delta_entries[id], &mut records);
-        link.send(&Message::WordDelta(Delta {
-            worker_id: id as u32,
-            epoch,
-            records: records.clone(),
-            partial_ck: partial.clone(),
-        }))?;
-        apply_sync(link, sampler, &plan.word_sync_entries[id], epoch, k, SyncKind::Word)?;
+        for kind in [SyncKind::Word, SyncKind::Doc] {
+            let phase = match kind {
+                SyncKind::Word => FaultPhase::Word,
+                SyncKind::Doc => FaultPhase::Doc,
+            };
+            let sabotage =
+                faults.fire(epoch, phase).and_then(|action| execute_fault(action, heartbeat));
 
-        sampler.run_doc_phase_shard(&plan.owned_docs[id], &mut partial);
-        sampler.export_records(&plan.doc_delta_entries[id], &mut records);
-        link.send(&Message::DocDelta(Delta {
-            worker_id: id as u32,
-            epoch,
-            records: records.clone(),
-            partial_ck: partial.clone(),
-        }))?;
-        apply_sync(link, sampler, &plan.doc_sync_entries[id], epoch, k, SyncKind::Doc)?;
+            match kind {
+                SyncKind::Word => sampler.run_word_phase_shard(&plan.owned_words[id], &mut partial),
+                SyncKind::Doc => sampler.run_doc_phase_shard(&plan.owned_docs[id], &mut partial),
+            }
+            let delta_entries = match kind {
+                SyncKind::Word => &plan.word_delta_entries[id],
+                SyncKind::Doc => &plan.doc_delta_entries[id],
+            };
+            sampler.export_records(delta_entries, &mut records);
+            let delta = Delta {
+                worker_id: id as u32,
+                epoch,
+                records: records.clone(),
+                partial_ck: partial.clone(),
+            };
+            let msg = match kind {
+                SyncKind::Word => Message::WordDelta(delta),
+                SyncKind::Doc => Message::DocDelta(delta),
+            };
+            match sabotage {
+                Some(FaultAction::CorruptDelta) => writer.send_corrupted(&msg)?,
+                Some(FaultAction::TruncateDelta) => {
+                    writer.send_truncated(&msg)?;
+                    // The frame is unfinishable; exiting here is the fault.
+                    std::process::exit(4);
+                }
+                _ => writer.send(&msg)?,
+            }
+
+            let sync_entries = match kind {
+                SyncKind::Word => &plan.word_sync_entries[id],
+                SyncKind::Doc => &plan.doc_sync_entries[id],
+            };
+            match apply_sync(reader, writer, sampler, sync_entries, epoch, k, kind, id)? {
+                Flow::Synced => {}
+                Flow::Restored => continue 'session,
+            }
+        }
 
         sampler.advance_iteration();
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SyncKind {
-    Word,
-    Doc,
-}
-
 /// Receives the expected phase-boundary sync, installs the merged `c_k` and
-/// imports the cross-owner records this worker does not advance itself.
+/// imports the cross-owner records this worker does not advance itself. A
+/// `Restore` here means a peer failed mid-iteration: adopt the boundary
+/// state, acknowledge with `Ready` and report [`Flow::Restored`].
+#[allow(clippy::too_many_arguments)]
 fn apply_sync(
-    link: &mut Link,
+    reader: &mut Reader,
+    writer: &SharedWriter,
     sampler: &mut ShardedWarpLda,
     entries: &[u32],
     epoch: u64,
     k: usize,
     kind: SyncKind,
-) -> Result<()> {
-    let sync = match (kind, link.recv()?) {
+    id: usize,
+) -> Result<Flow> {
+    let sync = match (kind, reader.recv()?) {
         (SyncKind::Word, Message::WordSync(sync)) => sync,
         (SyncKind::Doc, Message::DocSync(sync)) => sync,
+        (_, Message::Restore(r)) => {
+            sampler.restore(r.iterations, &r.records, &r.topic_counts)?;
+            writer.send(&Message::Ready { worker_id: id as u32 })?;
+            return Ok(Flow::Restored);
+        }
         (_, other) => return Err(format!("expected {kind:?} sync, got {other:?}").into()),
     };
     if sync.epoch != epoch {
@@ -217,5 +418,5 @@ fn apply_sync(
     }
     sampler.install_topic_counts(&sync.topic_counts);
     sampler.import_records(entries, &sync.records)?;
-    Ok(())
+    Ok(Flow::Synced)
 }

@@ -62,6 +62,7 @@
 
 pub mod cluster;
 pub mod driver;
+pub mod fault;
 pub mod grid;
 pub mod plan;
 pub mod process;
@@ -70,6 +71,7 @@ pub mod runner;
 
 pub use cluster::ClusterConfig;
 pub use driver::{DistributedWarpLda, IterationReport};
+pub use fault::{FaultAction, FaultEvent, FaultPhase, FaultPlan};
 pub use grid::GridPartition;
 pub use plan::ShardPlan;
 pub use process::{DistError, ProcessCluster, ProcessClusterConfig, ProcessIterationReport};

@@ -26,7 +26,19 @@
 //! Workers that hit an error mid-protocol send [`Message::Fault`] on a
 //! best-effort basis before exiting, so the coordinator can report *why* a
 //! worker died instead of just a closed connection.
+//!
+//! Liveness and recovery ride on two extra messages. Workers pulse
+//! [`Message::Heartbeat`] from a side thread every
+//! `Setup.heartbeat_interval_ms`, which is how the coordinator tells a
+//! *hung* worker (process alive, socket open, nothing flowing) from a slow
+//! one. When a worker dies mid-iteration the coordinator respawns it with
+//! `Setup.resume` set to the last boundary snapshot and sends every survivor
+//! [`Message::Restore`] with the same snapshot; survivors abandon the
+//! in-flight iteration, reinstall the boundary state and answer `Ready`.
+//! Because per-entity RNG streams are keyed on (seed, iteration, phase,
+//! entity), the replay is bit-identical to the run that failed.
 
+use crate::fault::{read_fault_events, write_fault_events, FaultEvent};
 use warplda_corpus::io::codec::{
     read_corpus, write_corpus, CodecError, CodecResult, Decoder, Encoder,
 };
@@ -48,6 +60,8 @@ const TAG_DOC_SYNC: u8 = 8;
 const TAG_SHUTDOWN: u8 = 9;
 const TAG_BYE: u8 = 10;
 const TAG_FAULT: u8 = 11;
+const TAG_HEARTBEAT: u8 = 12;
+const TAG_RESTORE: u8 = 13;
 
 /// Everything a worker needs to build its replica: the corpus, the model, the
 /// seed and (when resuming) the full sampler state to adopt.
@@ -73,6 +87,12 @@ pub struct Setup {
     pub corpus: Corpus,
     /// Sampler state to adopt instead of the fresh random initialization.
     pub resume: Option<ResumeState>,
+    /// Interval between worker→coordinator heartbeats, in milliseconds.
+    /// Zero disables heartbeating (single-process tests drive the protocol
+    /// directly and have no liveness loop to feed).
+    pub heartbeat_interval_ms: u64,
+    /// Scripted fault events addressed to this worker (empty in production).
+    pub faults: Vec<FaultEvent>,
 }
 
 /// Full sampler state for resuming mid-training (mirrors the checkpoint
@@ -155,6 +175,33 @@ pub enum Message {
         /// Human-readable cause.
         message: String,
     },
+    /// Worker → coordinator: liveness pulse, sent on a side thread every
+    /// `Setup.heartbeat_interval_ms`. Carries no protocol state; the
+    /// coordinator's receive loop consumes it to refresh the worker's
+    /// last-heard clock and never hands it to the state machine.
+    Heartbeat {
+        /// Sender's worker id.
+        worker_id: u32,
+    },
+    /// Coordinator → worker: a peer failed; abandon the current iteration,
+    /// reinstall this boundary state and reply `Ready`. Sent to *surviving*
+    /// workers during recovery (the respawned worker gets the same state via
+    /// `Setup.resume`).
+    Restore(ResumeState),
+}
+
+fn write_resume(enc: &mut Encoder<'_>, r: &ResumeState) -> CodecResult<()> {
+    enc.write_u64(r.iterations)?;
+    enc.write_u32_slice(&r.records)?;
+    enc.write_u32_slice(&r.topic_counts)
+}
+
+fn read_resume(dec: &mut Decoder<'_>) -> CodecResult<ResumeState> {
+    Ok(ResumeState {
+        iterations: dec.read_u64()?,
+        records: dec.read_u32_vec()?,
+        topic_counts: dec.read_u32_vec()?,
+    })
 }
 
 fn write_delta(enc: &mut Encoder<'_>, d: &Delta) -> CodecResult<()> {
@@ -211,14 +258,14 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
                 enc.write_bool(s.use_hash_counts)?;
                 write_corpus(&mut enc, &s.corpus)?;
                 match &s.resume {
-                    None => enc.write_bool(false),
+                    None => enc.write_bool(false)?,
                     Some(r) => {
                         enc.write_bool(true)?;
-                        enc.write_u64(r.iterations)?;
-                        enc.write_u32_slice(&r.records)?;
-                        enc.write_u32_slice(&r.topic_counts)
+                        write_resume(&mut enc, r)?;
                     }
                 }
+                enc.write_u64(s.heartbeat_interval_ms)?;
+                write_fault_events(&mut enc, &s.faults)
             }
             Message::Ready { worker_id } => {
                 enc.write_u8(TAG_READY)?;
@@ -254,6 +301,14 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
                 enc.write_u32(*worker_id)?;
                 enc.write_str(message)
             }
+            Message::Heartbeat { worker_id } => {
+                enc.write_u8(TAG_HEARTBEAT)?;
+                enc.write_u32(*worker_id)
+            }
+            Message::Restore(r) => {
+                enc.write_u8(TAG_RESTORE)?;
+                write_resume(&mut enc, r)
+            }
         }
     })()
     .expect("encoding to a Vec cannot fail");
@@ -279,15 +334,9 @@ pub fn decode_message(payload: &[u8]) -> CodecResult<Message> {
                 let mh_steps = dec.read_u64()?;
                 let use_hash_counts = dec.read_bool()?;
                 let corpus = read_corpus(&mut dec)?;
-                let resume = if dec.read_bool()? {
-                    Some(ResumeState {
-                        iterations: dec.read_u64()?,
-                        records: dec.read_u32_vec()?,
-                        topic_counts: dec.read_u32_vec()?,
-                    })
-                } else {
-                    None
-                };
+                let resume = if dec.read_bool()? { Some(read_resume(&mut dec)?) } else { None };
+                let heartbeat_interval_ms = dec.read_u64()?;
+                let faults = read_fault_events(&mut dec)?;
                 Message::Setup(Box::new(Setup {
                     workers,
                     worker_id,
@@ -299,6 +348,8 @@ pub fn decode_message(payload: &[u8]) -> CodecResult<Message> {
                     use_hash_counts,
                     corpus,
                     resume,
+                    heartbeat_interval_ms,
+                    faults,
                 }))
             }
             TAG_READY => Message::Ready { worker_id: dec.read_u32()? },
@@ -310,6 +361,8 @@ pub fn decode_message(payload: &[u8]) -> CodecResult<Message> {
             TAG_SHUTDOWN => Message::Shutdown,
             TAG_BYE => Message::Bye { worker_id: dec.read_u32()? },
             TAG_FAULT => Message::Fault { worker_id: dec.read_u32()?, message: dec.read_string()? },
+            TAG_HEARTBEAT => Message::Heartbeat { worker_id: dec.read_u32()? },
+            TAG_RESTORE => Message::Restore(read_resume(&mut dec)?),
             other => return Err(CodecError::Corrupt(format!("unknown message tag {other:#04x}"))),
         }
     };
@@ -358,6 +411,13 @@ mod tests {
                     records: vec![0, 1, 2, 1, 0, 2],
                     topic_counts: vec![2, 2, 2],
                 }),
+                heartbeat_interval_ms: 250,
+                faults: vec![crate::fault::FaultEvent {
+                    worker: 2,
+                    iteration: 3,
+                    phase: crate::fault::FaultPhase::Doc,
+                    action: crate::fault::FaultAction::Hang { ms: 10_000 },
+                }],
             })),
             Message::Ready { worker_id: 1 },
             Message::RunIteration { epoch: 42 },
@@ -378,6 +438,12 @@ mod tests {
             Message::Shutdown,
             Message::Bye { worker_id: 0 },
             Message::Fault { worker_id: 2, message: "shard went sideways".into() },
+            Message::Heartbeat { worker_id: 3 },
+            Message::Restore(ResumeState {
+                iterations: 9,
+                records: vec![5, 4, 3],
+                topic_counts: vec![1, 1, 1],
+            }),
         ];
         for msg in msgs {
             let payload = encode_message(&msg);
@@ -397,6 +463,8 @@ mod tests {
                     assert_eq!(a.use_hash_counts, b.use_hash_counts);
                     assert_eq!(a.corpus.num_tokens(), b.corpus.num_tokens());
                     assert_eq!(a.resume, b.resume);
+                    assert_eq!(a.heartbeat_interval_ms, b.heartbeat_interval_ms);
+                    assert_eq!(a.faults, b.faults);
                 }
                 (Message::Ready { worker_id: a }, Message::Ready { worker_id: b }) => {
                     assert_eq!(a, b)
@@ -419,6 +487,10 @@ mod tests {
                     assert_eq!(a, b);
                     assert_eq!(am, bm);
                 }
+                (Message::Heartbeat { worker_id: a }, Message::Heartbeat { worker_id: b }) => {
+                    assert_eq!(a, b)
+                }
+                (Message::Restore(a), Message::Restore(b)) => assert_eq!(a, b),
                 (sent, got) => panic!("message kind changed in flight: {sent:?} -> {got:?}"),
             }
         }

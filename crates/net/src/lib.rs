@@ -19,8 +19,11 @@
 //!   [`DEFAULT_MAX_FRAME_BYTES`], the distributed runtime raises it for
 //!   corpus and record-delta frames.
 //! * [`PayloadReader`] — a zero-copy bounds-checked cursor over one payload.
-//! * [`connect_with_retry`] — TCP connect with bounded exponential backoff,
-//!   for clients and workers racing a listener that is still coming up.
+//! * [`connect_with_retry`] / [`connect_within`] — TCP connect with jittered
+//!   exponential backoff, for clients and workers racing a listener that is
+//!   still coming up. `connect_within` bounds the whole dance by a wall-clock
+//!   deadline and surfaces exhaustion as a typed
+//!   [`WireError::ConnectTimedOut`] instead of retrying forever.
 //!
 //! Encoding is in-place: [`begin_frame`]/[`end_frame`] reserve and patch the
 //! length prefix so a frame is built directly in the output buffer, and
@@ -31,7 +34,7 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default bound on a single frame's payload. Frames announcing more are
 /// rejected before any allocation happens — a corrupt or hostile length
@@ -52,6 +55,14 @@ pub enum WireError {
     },
     /// The payload did not parse (truncated fields, unknown opcode, …).
     Malformed(&'static str),
+    /// [`connect_within`] exhausted its overall deadline without reaching the
+    /// peer (refused, unroutable or blackholed address).
+    ConnectTimedOut {
+        /// Wall time spent trying.
+        elapsed: Duration,
+        /// Connection attempts made.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -62,6 +73,9 @@ impl std::fmt::Display for WireError {
                 write!(f, "frame of {len} bytes exceeds the {limit}-byte limit")
             }
             WireError::Malformed(what) => write!(f, "malformed message: {what}"),
+            WireError::ConnectTimedOut { elapsed, attempts } => {
+                write!(f, "connect timed out after {elapsed:?} ({attempts} attempts)")
+            }
         }
     }
 }
@@ -247,6 +261,59 @@ impl FrameBuffer {
             }
         }
     }
+
+    /// Bounded receive: waits at most `wait` for bytes on `stream` and
+    /// reports what happened instead of treating a quiet peer as an error.
+    /// This is the supervisor-side primitive — a liveness loop polls each
+    /// worker with a short wait, interleaving heartbeat bookkeeping and
+    /// child-exit checks between [`PollFrame::Idle`] returns.
+    ///
+    /// Sets the stream's read timeout to `wait` as a side effect.
+    pub fn poll_frame(
+        &mut self,
+        stream: &mut TcpStream,
+        wait: Duration,
+    ) -> Result<PollFrame, WireError> {
+        if let Some(range) = self.take_frame()? {
+            return Ok(PollFrame::Frame(range));
+        }
+        stream.set_read_timeout(Some(wait.max(Duration::from_millis(1))))?;
+        loop {
+            match self.fill_from(stream) {
+                Ok(0) => {
+                    return if self.start == self.end {
+                        Ok(PollFrame::Eof)
+                    } else {
+                        Err(WireError::Malformed("connection closed mid-frame"))
+                    };
+                }
+                Ok(_) => {
+                    if let Some(range) = self.take_frame()? {
+                        return Ok(PollFrame::Frame(range));
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(PollFrame::Idle);
+                }
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+    }
+}
+
+/// Outcome of one [`FrameBuffer::poll_frame`] call.
+#[derive(Debug)]
+pub enum PollFrame {
+    /// A complete frame is buffered; the range indexes into the buffer.
+    Frame(std::ops::Range<usize>),
+    /// No complete frame arrived within the wait budget; the peer is quiet
+    /// but the connection is intact.
+    Idle,
+    /// The peer closed the connection at a frame boundary.
+    Eof,
 }
 
 // ---------------------------------------------------------------------------
@@ -314,11 +381,43 @@ impl<'a> PayloadReader<'a> {
 // Connection helpers
 // ---------------------------------------------------------------------------
 
-/// Connects to `addr`, retrying with bounded exponential backoff: `attempts`
-/// tries, sleeping `initial_backoff` after the first failure and doubling up
-/// to `max_backoff` between the rest. Returns the last connect error if every
-/// attempt fails. Used by distributed workers racing the coordinator's
-/// listener and by clients of a server that is still coming up.
+/// A tiny xorshift stream for backoff jitter. Seeded per call from the
+/// process id and a monotonic counter so concurrent workers desynchronise
+/// their retry storms without the crate growing an RNG dependency.
+struct JitterRng(u64);
+
+impl JitterRng {
+    fn new() -> Self {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let salt = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let seed = (u64::from(std::process::id()) << 32) ^ salt ^ 0x9e37_79b9_7f4a_7c15;
+        Self(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// A duration uniform in `[base/2, base]` — "equal jitter" backoff.
+    fn jittered(&mut self, base: Duration) -> Duration {
+        let nanos = base.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let half = nanos / 2;
+        Duration::from_nanos(half + self.next() % (half + 1))
+    }
+}
+
+/// Connects to `addr`, retrying with bounded jittered exponential backoff:
+/// `attempts` tries, sleeping roughly `initial_backoff` after the first
+/// failure and doubling up to `max_backoff` between the rest (each sleep is
+/// jittered to `[base/2, base]` so a fleet of workers does not retry in
+/// lock-step). Returns the last connect error if every attempt fails. Used
+/// by clients of a server that is still coming up; workers racing the
+/// coordinator's listener use the deadline-bounded [`connect_within`].
 pub fn connect_with_retry<A: ToSocketAddrs>(
     addr: A,
     attempts: u32,
@@ -326,11 +425,12 @@ pub fn connect_with_retry<A: ToSocketAddrs>(
     max_backoff: Duration,
 ) -> std::io::Result<TcpStream> {
     assert!(attempts >= 1, "need at least one connect attempt");
+    let mut rng = JitterRng::new();
     let mut backoff = initial_backoff;
     let mut last_err = None;
     for attempt in 0..attempts {
         if attempt > 0 {
-            std::thread::sleep(backoff);
+            std::thread::sleep(rng.jittered(backoff));
             backoff = (backoff * 2).min(max_backoff);
         }
         match TcpStream::connect(&addr) {
@@ -339,6 +439,46 @@ pub fn connect_with_retry<A: ToSocketAddrs>(
         }
     }
     Err(last_err.expect("at least one attempt was made"))
+}
+
+/// Connects to `addr`, retrying with jittered exponential backoff until an
+/// overall wall-clock `deadline` elapses, then returns a typed
+/// [`WireError::ConnectTimedOut`] instead of retrying forever against a
+/// refused or blackholed address. Each individual attempt is bounded by the
+/// remaining budget via `TcpStream::connect_timeout`, so a peer that accepts
+/// the SYN and then stalls cannot pin the caller past the deadline either.
+pub fn connect_within<A: ToSocketAddrs>(
+    addr: A,
+    deadline: Duration,
+    initial_backoff: Duration,
+    max_backoff: Duration,
+) -> Result<TcpStream, WireError> {
+    let start = Instant::now();
+    let mut rng = JitterRng::new();
+    let mut backoff = initial_backoff;
+    let mut attempts = 0u32;
+    loop {
+        let addrs: Vec<_> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(WireError::Malformed("address resolved to nothing"));
+        }
+        for sockaddr in &addrs {
+            let remaining = deadline.saturating_sub(start.elapsed());
+            if remaining.is_zero() {
+                return Err(WireError::ConnectTimedOut { elapsed: start.elapsed(), attempts });
+            }
+            attempts += 1;
+            if let Ok(stream) = TcpStream::connect_timeout(sockaddr, remaining) {
+                return Ok(stream);
+            }
+        }
+        let remaining = deadline.saturating_sub(start.elapsed());
+        if remaining.is_zero() {
+            return Err(WireError::ConnectTimedOut { elapsed: start.elapsed(), attempts });
+        }
+        std::thread::sleep(rng.jittered(backoff).min(remaining));
+        backoff = (backoff * 2).min(max_backoff);
+    }
 }
 
 #[cfg(test)]
@@ -485,5 +625,87 @@ mod tests {
             connect_with_retry(addr, 10, Duration::from_millis(10), Duration::from_millis(40));
         accept.join().unwrap();
         assert!(stream.is_ok(), "late listener should be reached: {stream:?}");
+    }
+
+    #[test]
+    fn connect_within_times_out_with_a_typed_error() {
+        use std::net::TcpListener;
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let start = std::time::Instant::now();
+        let err = connect_within(
+            dead,
+            Duration::from_millis(120),
+            Duration::from_millis(5),
+            Duration::from_millis(20),
+        )
+        .unwrap_err();
+        match err {
+            WireError::ConnectTimedOut { elapsed, attempts } => {
+                assert!(attempts >= 1);
+                assert!(elapsed >= Duration::from_millis(100), "deadline honoured: {elapsed:?}");
+            }
+            other => panic!("expected ConnectTimedOut, got {other:?}"),
+        }
+        assert!(start.elapsed() < Duration::from_secs(5), "deadline must bound the retry loop");
+    }
+
+    #[test]
+    fn connect_within_reaches_a_late_listener() {
+        use std::net::TcpListener;
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = l.local_addr().unwrap();
+            drop(l);
+            addr
+        };
+        let accept = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let l = TcpListener::bind(addr).unwrap();
+            let _ = l.accept();
+        });
+        let stream = connect_within(
+            addr,
+            Duration::from_secs(5),
+            Duration::from_millis(5),
+            Duration::from_millis(20),
+        );
+        accept.join().unwrap();
+        assert!(stream.is_ok(), "late listener should be reached: {stream:?}");
+    }
+
+    #[test]
+    fn poll_frame_distinguishes_idle_frames_and_eof() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let mut server = server_side;
+
+        let mut fb = FrameBuffer::new(64);
+        // Quiet peer → Idle, quickly.
+        let start = std::time::Instant::now();
+        match fb.poll_frame(&mut client, Duration::from_millis(20)).unwrap() {
+            PollFrame::Idle => {}
+            other => panic!("expected Idle, got {other:?}"),
+        }
+        assert!(start.elapsed() < Duration::from_secs(2));
+
+        // A frame shows up → Frame with the right payload.
+        write_frame(&mut server, b"pulse").unwrap();
+        match fb.poll_frame(&mut client, Duration::from_millis(500)).unwrap() {
+            PollFrame::Frame(range) => assert_eq!(fb.payload(range), b"pulse"),
+            other => panic!("expected Frame, got {other:?}"),
+        }
+
+        // Peer closes at a frame boundary → Eof.
+        drop(server);
+        match fb.poll_frame(&mut client, Duration::from_millis(500)).unwrap() {
+            PollFrame::Eof => {}
+            other => panic!("expected Eof, got {other:?}"),
+        }
     }
 }

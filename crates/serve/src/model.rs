@@ -20,7 +20,7 @@
 //! deterministically at load time rather than persisted.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, RwLock};
@@ -392,17 +392,12 @@ impl TopicModel {
         Self::from_parts(params, topic_counts, word_offsets, pair_topics, pair_counts, vocab)
     }
 
-    /// Saves the model to `path`, creating parent directories as needed.
+    /// Saves the model to `path`, creating parent directories as needed. The
+    /// write is crash-safe ([`warplda_corpus::io::atomic_write`]): a crash
+    /// mid-save leaves any previous model at `path` intact and serve nodes
+    /// can never load a torn artifact.
     pub fn save(&self, path: &Path) -> CodecResult<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        let mut w = BufWriter::new(File::create(path)?);
-        self.write(&mut w)?;
-        w.flush()?;
-        Ok(())
+        warplda_corpus::io::atomic_write(path, |w| self.write(w))
     }
 
     /// Loads a model saved by [`save`](Self::save).

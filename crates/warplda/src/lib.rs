@@ -73,8 +73,9 @@ pub mod prelude {
         OovPolicy, SyntheticConfig, Vocabulary, WordMajorView, ZipfGenerator,
     };
     pub use warplda_dist::{
-        ClusterConfig, DistError, DistributedWarpLda, GridPartition, ProcessCluster,
-        ProcessClusterConfig, ProcessIterationReport, ShardPlan,
+        ClusterConfig, DistError, DistributedWarpLda, FaultAction, FaultEvent, FaultPhase,
+        FaultPlan, GridPartition, ProcessCluster, ProcessClusterConfig, ProcessIterationReport,
+        ShardPlan,
     };
     pub use warplda_serve::{
         fold_in_perplexity, held_out_eval_fn, Client, HeldOutSet, InferConfig, InferScratch,

@@ -8,10 +8,18 @@
 //! checked bit-for-bit against the simulated run. The worker binary must be
 //! built first: `cargo build --release -p warplda-dist`.
 //!
+//! With `--fault-smoke`, a 4-process cluster is trained under a scripted
+//! fault plan — one worker killed outright, another hung mid-iteration — and
+//! the run must recover both and still finish bit-identical to the fault-free
+//! in-process oracle. CI runs this as the fault-injection smoke test.
+//!
 //! ```bash
 //! cargo run --release --example distributed_run
 //! cargo run --release --example distributed_run -- --process
+//! cargo run --release --example distributed_run -- --fault-smoke
 //! ```
+
+use std::time::Duration;
 
 use warplda::dist::runner::scaling_sweep;
 use warplda::prelude::*;
@@ -62,11 +70,65 @@ fn run_process_backend(corpus: &Corpus, params: ModelParams, config: WarpLdaConf
     });
 }
 
+/// Fault-injection smoke test: kill one worker, hang another, and demand a
+/// final model bit-identical to a run that never saw a fault.
+fn run_fault_smoke(corpus: &Corpus, config: WarpLdaConfig, seed: u64) {
+    let workers = 4;
+    let iterations = 6;
+    let params = ModelParams::paper_defaults(20);
+    println!("\nfault-injection smoke: {workers}-process cluster, {iterations} iterations");
+    println!("  scripted: worker 1 killed in iteration 2 (word phase),");
+    println!("            worker 0 hung in iteration 4 (doc phase, outlives liveness timeout)");
+
+    let mut cfg = ProcessClusterConfig::new(workers);
+    cfg.heartbeat_interval = Duration::from_millis(100);
+    cfg.liveness_timeout = Duration::from_secs(2);
+    cfg.fault_plan =
+        FaultPlan::new().crash(1, 2, FaultPhase::Word).hang(0, 4, FaultPhase::Doc, 600_000);
+
+    let mut cluster = ProcessCluster::new(corpus, params, config, seed, cfg).unwrap_or_else(|e| {
+        eprintln!("cannot spawn the process cluster: {e}");
+        std::process::exit(1);
+    });
+    let mut oracle = ParallelWarpLda::new(corpus, params, config, seed, workers);
+    for _ in 0..iterations {
+        let report = cluster.run_iteration().unwrap_or_else(|e| {
+            eprintln!("iteration did not survive the scripted faults: {e}");
+            std::process::exit(1);
+        });
+        oracle.run_iteration();
+        let note = match report.recoveries {
+            0 => String::new(),
+            n => format!("   <- recovered {n} worker(s)"),
+        };
+        println!("  iteration {:>2} complete{note}", report.iteration);
+    }
+
+    assert_eq!(cluster.recoveries(), 2, "expected exactly two recoveries (one kill, one hang)");
+    assert_eq!(
+        cluster.assignments(),
+        oracle.assignments(),
+        "recovered training diverged from the fault-free oracle"
+    );
+    assert_eq!(cluster.topic_counts(), oracle.topic_counts(), "topic counts diverged");
+    cluster.shutdown().unwrap_or_else(|e| {
+        eprintln!("shutdown failed: {e}");
+        std::process::exit(1);
+    });
+    println!("survived 1 kill + 1 hang; final assignments bit-identical to the fault-free oracle");
+}
+
 fn main() {
     let corpus = DatasetPreset::Tiny.generate();
     let params = ModelParams::paper_defaults(20);
     let config = WarpLdaConfig::with_mh_steps(2);
     println!("corpus: {}", corpus.stats().table_row("tiny-synthetic"));
+
+    // --- Fault-injection smoke (opt-in, used by CI) -----------------------
+    if std::env::args().any(|a| a == "--fault-smoke") {
+        run_fault_smoke(&corpus, config, 7);
+        return;
+    }
 
     // --- One distributed run with 4 simulated machines -------------------
     let cluster = ClusterConfig::tianhe2_like(4, config.mh_steps);

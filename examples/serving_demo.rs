@@ -138,7 +138,8 @@ fn main() {
             std::fs::create_dir_all(parent).expect("create output directory");
         }
     }
-    std::fs::write(&out, report.render()).expect("write serve report");
+    warplda::corpus::io::atomic_write_bytes(std::path::Path::new(&out), report.render().as_bytes())
+        .expect("write serve report");
     println!("wrote {out}");
     handle.shutdown();
 }

@@ -10,6 +10,14 @@
 //! after every iteration — assignments, global topic counts and therefore
 //! perplexity. These tests enforce that, plus checkpoint resume across
 //! changing worker counts and typed (non-hanging) failure on worker death.
+//!
+//! The fault-tolerance half drives the same differential argument through
+//! scripted failures: a worker killed or hung mid-iteration is detected
+//! (child exit / heartbeat silence), respawned from the coordinator's
+//! boundary snapshot, and the retried iteration replays bit-identically —
+//! so the *final* model after recovery equals the fault-free oracle's
+//! exactly. With recovery disabled, the same faults surface as fast typed
+//! errors, and a dropped cluster never leaves zombie worker processes.
 
 use std::time::Duration;
 
@@ -139,6 +147,8 @@ fn killed_worker_surfaces_as_a_typed_error_not_a_hang() {
     let mut cfg = process_config(2);
     // Tight bound: the error must arrive fast, not after a long timeout.
     cfg.io_timeout = Duration::from_secs(10);
+    // Recovery off: this test asserts the *typed error* path.
+    cfg.max_recoveries = 0;
     let mut cluster = ProcessCluster::new(&corpus, params, config, 7, cfg).expect("spawn");
     cluster.run_iteration().expect("healthy iteration");
 
@@ -153,6 +163,154 @@ fn killed_worker_surfaces_as_a_typed_error_not_a_hang() {
     match err {
         DistError::WorkerFailed { worker, .. } => assert_eq!(worker, 1),
         other => panic!("expected WorkerFailed, got {other}"),
+    }
+}
+
+/// Runs `iters` iterations under `plan`, asserting that every scripted fault
+/// auto-recovers and that the final model — assignments, `c_k`, perplexity —
+/// is bit-identical to a fault-free [`ParallelWarpLda`] run of the same seed.
+fn assert_recovery_is_bit_identical(
+    workers: usize,
+    plan: FaultPlan,
+    iters: u64,
+    expected_recoveries: u64,
+) {
+    let corpus = DatasetPreset::Tiny.generate_scaled(2);
+    let params = ModelParams::paper_defaults(10);
+    let config = WarpLdaConfig::with_mh_steps(2);
+    let seed = 71;
+    let doc_view = DocMajorView::build(&corpus);
+    let word_view = WordMajorView::build(&corpus, &doc_view);
+
+    let mut cfg = process_config(workers);
+    // Keep hang detection quick so the hang tests don't dominate the suite.
+    cfg.liveness_timeout = Duration::from_secs(2);
+    cfg.heartbeat_interval = Duration::from_millis(100);
+    cfg.fault_plan = plan;
+    let mut cluster =
+        ProcessCluster::new(&corpus, params, config, seed, cfg).expect("spawn cluster");
+    let mut oracle = ParallelWarpLda::new(&corpus, params, config, seed, workers);
+    let mut recoveries_seen = 0u64;
+    for _ in 0..iters {
+        let report = cluster.run_iteration().expect("iteration must survive scripted faults");
+        recoveries_seen += u64::from(report.recoveries);
+        oracle.run_iteration();
+    }
+    assert_eq!(cluster.recoveries(), expected_recoveries, "{workers} workers: recovery counter");
+    assert_eq!(recoveries_seen, expected_recoveries, "{workers} workers: per-report counters");
+
+    let z = cluster.assignments();
+    assert_eq!(z, oracle.assignments(), "{workers} workers: assignments after recovery");
+    assert_eq!(cluster.topic_counts(), oracle.topic_counts(), "{workers} workers: c_k");
+    let ll = log_joint_likelihood(&corpus, &doc_view, &word_view, &params, &z);
+    let ll_oracle =
+        log_joint_likelihood(&corpus, &doc_view, &word_view, &params, &oracle.assignments());
+    let ppl = perplexity_per_token(ll, corpus.num_tokens()).unwrap();
+    let ppl_oracle = perplexity_per_token(ll_oracle, corpus.num_tokens()).unwrap();
+    assert_eq!(ppl.to_bits(), ppl_oracle.to_bits(), "{workers} workers: perplexity bits");
+    cluster.shutdown().expect("clean shutdown after recovery");
+}
+
+#[test]
+fn killed_worker_recovers_bit_identically() {
+    for workers in [2usize, 4] {
+        // Worker 1 exits abruptly at the start of iteration 2's word phase.
+        let plan = FaultPlan::new().crash(1, 2, FaultPhase::Word);
+        assert_recovery_is_bit_identical(workers, plan, 4, 1);
+    }
+}
+
+#[test]
+fn hung_worker_is_detected_by_heartbeat_timeout_and_recovers_bit_identically() {
+    for workers in [2usize, 4] {
+        // Worker 0 stops heartbeating and stalls mid-iteration-3; the stall
+        // far outlives the liveness timeout, so only heartbeat-based
+        // detection (not a child-exit check) can catch it.
+        let plan = FaultPlan::new().hang(0, 3, FaultPhase::Doc, 600_000);
+        assert_recovery_is_bit_identical(workers, plan, 4, 1);
+    }
+}
+
+#[test]
+fn corrupt_and_truncated_deltas_trigger_recovery() {
+    // Worker 1 flips bits in its iteration-2 word delta (a typed decode
+    // failure on the coordinator), and worker 0 truncates its iteration-3
+    // doc delta mid-frame then exits. Both recover; the final model is
+    // still exact.
+    let plan = FaultPlan::new().corrupt_delta(1, 2, FaultPhase::Word).truncate_delta(
+        0,
+        3,
+        FaultPhase::Doc,
+    );
+    assert_recovery_is_bit_identical(2, plan, 4, 2);
+}
+
+#[test]
+fn delayed_but_heartbeating_worker_is_not_declared_hung() {
+    // Worker 1 stalls for 3 s — longer than the 1 s liveness timeout — but
+    // keeps heartbeating. A correct supervisor rides it out: no recovery.
+    let corpus = DatasetPreset::Tiny.generate_scaled(2);
+    let params = ModelParams::paper_defaults(8);
+    let config = WarpLdaConfig::with_mh_steps(2);
+    let mut cfg = process_config(2);
+    cfg.liveness_timeout = Duration::from_secs(1);
+    cfg.heartbeat_interval = Duration::from_millis(100);
+    cfg.fault_plan = FaultPlan::new().delay(1, 2, FaultPhase::Word, 3_000);
+    let mut cluster = ProcessCluster::new(&corpus, params, config, 5, cfg).expect("spawn");
+    let mut oracle = ParallelWarpLda::new(&corpus, params, config, 5, 2);
+    for _ in 0..3 {
+        cluster.run_iteration().expect("a slow worker is not a dead worker");
+        oracle.run_iteration();
+    }
+    assert_eq!(cluster.recoveries(), 0, "a heartbeating worker must never be recovered");
+    assert_eq!(cluster.assignments(), oracle.assignments());
+    cluster.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn hung_worker_with_recovery_disabled_is_a_typed_hang_error() {
+    let corpus = DatasetPreset::Tiny.generate_scaled(2);
+    let params = ModelParams::paper_defaults(8);
+    let config = WarpLdaConfig::with_mh_steps(2);
+    let mut cfg = process_config(2);
+    cfg.max_recoveries = 0;
+    cfg.liveness_timeout = Duration::from_secs(1);
+    cfg.heartbeat_interval = Duration::from_millis(100);
+    cfg.fault_plan = FaultPlan::new().hang(1, 1, FaultPhase::Doc, 600_000);
+    let mut cluster = ProcessCluster::new(&corpus, params, config, 9, cfg).expect("spawn");
+
+    let start = std::time::Instant::now();
+    let err = cluster.run_iteration().expect_err("hang with recovery disabled must fail");
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "hang detection took {:?} — liveness is not working",
+        start.elapsed()
+    );
+    match err {
+        DistError::WorkerHung { worker, .. } => assert_eq!(worker, 1),
+        other => panic!("expected WorkerHung, got {other}"),
+    }
+
+    // Satellite check: dropping the cluster mid-iteration (worker 1 is
+    // alive-but-hung, worker 0 is blocked awaiting a sync) kills and reaps
+    // every child — no zombies, no orphans.
+    let pids = cluster.worker_pids();
+    assert_eq!(pids.len(), 2);
+    drop(cluster);
+    for pid in pids {
+        assert!(
+            !process_is_live_or_zombie(pid),
+            "worker pid {pid} still present after the cluster was dropped"
+        );
+    }
+}
+
+/// True when `/proc/<pid>` still names a live or zombie `warplda-dist-worker`
+/// process. PID recycling is handled by checking the command name.
+fn process_is_live_or_zombie(pid: u32) -> bool {
+    match std::fs::read_to_string(format!("/proc/{pid}/comm")) {
+        Ok(comm) => comm.trim_end().starts_with("warplda-dist-w"),
+        Err(_) => false,
     }
 }
 

@@ -359,6 +359,79 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Frame buffer: any partial delivery of a frame stream — byte-at-a-time,
+// random split points, splits inside the 4-byte length prefix — reassembles
+// exactly the frames that were sent, and truncation anywhere inside a frame
+// is a typed error, never a hang or a wrong frame.
+// ---------------------------------------------------------------------------
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frame_buffer_reassembles_any_partial_delivery(
+        payloads in prop::collection::vec(prop::collection::vec(0u8..255, 0..200), 1..12),
+        chunks in prop::collection::vec(1usize..9, 1..64),
+    ) {
+        use warplda::net::{write_frame, FrameBuffer};
+
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p).unwrap();
+        }
+
+        // Deliver the stream in the scripted chunk sizes (cycled). Sizes
+        // start at 1 byte, so splits land inside length prefixes and inside
+        // payloads all the time.
+        let mut fb = FrameBuffer::new(8);
+        let mut seen: Vec<Vec<u8>> = Vec::new();
+        let mut pos = 0usize;
+        let mut turn = 0usize;
+        while pos < stream.len() {
+            let n = chunks[turn % chunks.len()].min(stream.len() - pos);
+            turn += 1;
+            let mut cursor = std::io::Cursor::new(&stream[pos..pos + n]);
+            loop {
+                while let Some(range) = fb.take_frame().unwrap() {
+                    seen.push(fb.payload(range).to_vec());
+                }
+                if fb.fill_from(&mut cursor).unwrap() == 0 {
+                    break;
+                }
+            }
+            pos += n;
+        }
+        while let Some(range) = fb.take_frame().unwrap() {
+            seen.push(fb.payload(range).to_vec());
+        }
+        prop_assert_eq!(seen, payloads);
+    }
+
+    #[test]
+    fn frame_buffer_flags_any_truncation_as_malformed(
+        payload in prop::collection::vec(0u8..255, 1..200),
+        cut_seed in 0usize..10_000,
+    ) {
+        use warplda::net::{write_frame, FrameBuffer, WireError};
+
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &payload).unwrap();
+        // Cut strictly inside the frame: anywhere from mid-prefix (1..4) to
+        // one byte short of complete.
+        let cut = 1 + cut_seed % (stream.len() - 1);
+        stream.truncate(cut);
+
+        let mut fb = FrameBuffer::new(8);
+        let mut cursor = std::io::Cursor::new(stream);
+        match fb.read_frame(&mut cursor) {
+            Err(WireError::Malformed(msg)) => prop_assert!(msg.contains("mid-frame")),
+            other => return Err(TestCaseError::Fail(
+                format!("truncated at {cut}: expected Malformed, got {other:?}"),
+            )),
+        }
+    }
+}
+
 // A tiny compile-time check that the probe abstraction is object-safe enough
 // for downstream users who want dynamic instrumentation.
 #[test]
